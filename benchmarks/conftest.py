@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_e*.py`` file regenerates one experiment from
+EXPERIMENTS.md.  Timing goes through pytest-benchmark; the qualitative
+claims (dependence graphs, copy counts, check counts) are asserted so a
+benchmark run is also a reproduction check.
+"""
+
+import pytest
+
+from repro import FlatArray
+
+
+@pytest.fixture
+def mesh_factory():
+    """Build a fresh deterministic m x m mesh FlatArray."""
+
+    def make(m, seed=0):
+        from repro.kernels import mesh_cells
+
+        return FlatArray.from_list(
+            ((1, 1), (m, m)), mesh_cells(m, seed)
+        )
+
+    return make

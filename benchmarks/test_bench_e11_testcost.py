@@ -1,0 +1,137 @@
+"""E11 — §6's cost claims for the dependence tests.
+
+Paper claims: the GCD and Banerjee tests are O(n) in nesting depth; the
+exact test is O(c^n); the search-tree refinement usually finds complete
+direction information in O(n) tests rather than O(c^n).  We time each
+test at several nesting depths and assert the qualitative growth.
+"""
+
+import time
+
+import pytest
+
+from repro.core.affine import Affine
+from repro.core.banerjee import banerjee_test
+from repro.core.direction import refine_directions
+from repro.core.exact import exact_test
+from repro.core.gcd_test import gcd_test
+from repro.core.subscripts import LoopInfo, Reference, build_equations
+
+
+def deep_equations(depth, trip=6):
+    """A depth-``depth`` nest with a dependence in every direction."""
+    loops = tuple(LoopInfo(f"i{k}", trip) for k in range(depth))
+    coeffs_f = {f"i{k}": 1 for k in range(depth)}
+    coeffs_g = {f"i{k}": 1 for k in range(depth)}
+    f = Reference("a", (Affine(0, coeffs_f),), loops, is_write=True)
+    g = Reference("a", (Affine(-1, coeffs_g),), loops)
+    return build_equations(f, g)
+
+
+@pytest.mark.benchmark(group="E11-tests")
+@pytest.mark.parametrize("depth", [1, 2, 4, 8])
+def test_e11_gcd_cost(benchmark, depth):
+    eqs = deep_equations(depth)
+    direction = ("*",) * depth
+    assert benchmark(gcd_test, eqs[0], direction) is True
+
+
+@pytest.mark.benchmark(group="E11-tests")
+@pytest.mark.parametrize("depth", [1, 2, 4, 8])
+def test_e11_banerjee_cost(benchmark, depth):
+    eqs = deep_equations(depth)
+    direction = ("*",) * depth
+    assert benchmark(banerjee_test, eqs[0], direction) is True
+
+
+@pytest.mark.benchmark(group="E11-tests")
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_e11_exact_cost(benchmark, depth):
+    eqs = deep_equations(depth)
+    witness = benchmark(exact_test, eqs)
+    assert witness is not None
+
+
+@pytest.mark.benchmark(group="E11-refinement")
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_e11_refinement_cost(benchmark, depth):
+    eqs = deep_equations(depth)
+    directions = benchmark(refine_directions, eqs)
+    assert directions  # a dependence exists
+
+
+def test_e11_screen_growth_is_tame_vs_exact():
+    """GCD/Banerjee stay ~linear while the exact test explodes."""
+
+    def cost(fn, *args, repeat=50):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn(*args)
+        return time.perf_counter() - start
+
+    shallow = deep_equations(2, trip=8)
+    deep = deep_equations(6, trip=8)
+
+    banerjee_growth = cost(
+        banerjee_test, deep[0], ("*",) * 6
+    ) / cost(banerjee_test, shallow[0], ("*",) * 2)
+
+    # A no-solution instance forces the exact search to exhaust the
+    # space: writes on even, reads on odd positions.  (Interval pruning
+    # cannot see parity, so the search really is exponential — keep the
+    # trip count tiny.)
+    def no_solution(depth):
+        loops = tuple(LoopInfo(f"i{k}", 3) for k in range(depth))
+        coeffs = {f"i{k}": 2 for k in range(depth)}
+        f = Reference("a", (Affine(0, coeffs),), loops, is_write=True)
+        g = Reference("a", (Affine(1, coeffs),), loops)
+        return build_equations(f, g)
+
+    exact_growth = cost(exact_test, no_solution(5), repeat=3) / cost(
+        exact_test, no_solution(2), repeat=3
+    )
+    assert exact_growth > banerjee_growth
+
+    def screens(eqs, depth):
+        return gcd_test(eqs[0], ("*",) * depth) and banerjee_test(
+            eqs[0], ("*",) * depth
+        )
+
+    # The screens instantly refute what the exact search would grind
+    # through.
+    assert not screens(no_solution(5), 5)
+
+
+def test_e11_refinement_prunes():
+    """Search-tree refinement does far fewer than 3^n tests when the
+    dependence is direction-constrained (the common stencil case)."""
+    depth = 4
+    loops = tuple(LoopInfo(f"i{k}", 6) for k in range(depth))
+    # Write (i0, i1, i2, i3), read (i0 - 1, i1, i2, i3): the only
+    # possible direction vector is (<, =, =, =).
+    f = Reference(
+        "a",
+        tuple(Affine.var(f"i{k}") for k in range(depth)),
+        loops, is_write=True,
+    )
+    g = Reference(
+        "a",
+        (Affine(-1, {"i0": 1}),) + tuple(
+            Affine.var(f"i{k}") for k in range(1, depth)
+        ),
+        loops,
+    )
+    eqs = build_equations(f, g)
+    counter = [0]
+    assert refine_directions(eqs, counter=counter) == {("<", "=", "=", "=")}
+    full_tree = sum(3 ** k for k in range(1, depth + 1)) + 1
+    assert counter[0] <= 3 * depth + 1  # ~linear, not exponential
+    assert counter[0] < full_tree // 3
+
+    # With no dependence at all: exactly one test (root pruning).
+    loops = (LoopInfo("i", 10), LoopInfo("j", 10))
+    f = Reference("a", (Affine(0, {"i": 2, "j": 2}),), loops, True)
+    g = Reference("a", (Affine(1, {"i": 2, "j": 2}),), loops)
+    counter = [0]
+    assert refine_directions(build_equations(f, g), counter=counter) == set()
+    assert counter[0] == 1

@@ -1,0 +1,83 @@
+"""E13 — §2's letrec* / force-elements semantics and cost.
+
+Paper context: ``letrec*`` lets the programmer assert a strict context
+so the compiler may drop thunks; ``force_elements`` is its semantic
+core.  We verify the strictification behaviour (hidden recursion and
+missing elements surface as bottom at definition time) and measure the
+cost of forcing relative to simply building the lazy array.
+"""
+
+import pytest
+
+from repro import evaluate
+from repro.runtime.errors import BlackHoleError, UndefinedElementError
+from repro.runtime.force import force_elements
+from repro.runtime.nonstrict import NonStrictArray, recursive_array
+
+# Kept modest: demand-driven forcing recurses through Python frames
+# (several per element), so N must stay under the recursion limit.
+N = 120
+
+
+def lazy_chain():
+    return recursive_array((1, N), lambda a: (
+        [(1, 1)]
+        + [(i, (lambda i=i: a[i - 1] + 1)) for i in range(2, N + 1)]
+    ))
+
+
+@pytest.mark.benchmark(group="E13-force")
+def test_e13_build_lazy_only(benchmark):
+    result = benchmark(lazy_chain)
+    assert result.is_defined(N)
+    assert not result.is_evaluated(N)
+
+
+@pytest.mark.benchmark(group="E13-force")
+def test_e13_build_and_force(benchmark):
+    def run():
+        return force_elements(lazy_chain())
+
+    result = benchmark(run)
+    assert result.at(N) == N
+
+
+@pytest.mark.benchmark(group="E13-force")
+def test_e13_demand_driven_equivalent(benchmark):
+    def run():
+        a = lazy_chain()
+        return a.at(N)  # transitively forces the whole chain
+
+    assert benchmark(run) == N
+
+
+class TestSemantics:
+    def test_force_elements_equation(self):
+        a = NonStrictArray((1, 5), [(i, i * i) for i in range(1, 6)])
+        s = force_elements(a)
+        for i in range(1, 6):
+            assert s.at(i) == a.at(i)
+
+    def test_hidden_cycle_is_bottom_at_definition(self):
+        with pytest.raises(BlackHoleError):
+            evaluate(
+                "letrec* v = array (1,2) [ 1 := v!2, 2 := v!1 ] in 99"
+            )
+
+    def test_without_star_bottom_hides(self):
+        assert evaluate(
+            "letrec v = array (1,2) [ 1 := v!2, 2 := v!1 ] in 99"
+        ) == 99
+
+    def test_missing_element_is_bottom_at_definition(self):
+        with pytest.raises(UndefinedElementError):
+            evaluate("letrec* v = array (1,3) [ 1 := 0, 2 := 0 ] in 99")
+
+    def test_letrec_star_strict_context_enables_reuse(self):
+        # Once strictified, every element is a plain value.
+        out = evaluate(
+            "letrec* v = array (1,50) "
+            "([ 1 := 1 ] ++ [ i := v!(i-1) * 2 | i <- [2..50] ]) in v",
+            deep=False,
+        )
+        assert out.at(50) == 2 ** 49

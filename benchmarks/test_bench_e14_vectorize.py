@@ -1,0 +1,91 @@
+"""E14 (extension) — §10 vectorization of dependence-free loops.
+
+Paper direction: "this analysis can also be extended to the
+vectorization and parallelization of functional language programs ...
+such transformations need to focus on finding innermost loops with no
+loop-carried dependences."  We measure scalar vs vectorized compiled
+code on loops the analysis proves dependence-free, and confirm that
+carried-dependence loops refuse to vectorize.
+"""
+
+import pytest
+
+from repro import CodegenOptions, FlatArray, compile_array
+from repro.kernels import SQUARES
+
+N = 4000
+
+SAXPY = """
+letrec y = array (1,n)
+  [ i := a0 * x!i + y0!i | i <- [1..n] ]
+in y
+"""
+
+STENCIL_FREE = """
+letrec s = array (1,n)
+  [ i := 0.5 * (x!i + x!(n+1-i)) | i <- [1..n] ]
+in s
+"""
+
+
+def vector_env():
+    return {
+        "n": N,
+        "a0": 2.5,
+        "x": FlatArray.from_list((1, N), [float(k) for k in range(N)]),
+        "y0": FlatArray.from_list((1, N), [1.0] * N),
+    }
+
+
+@pytest.mark.benchmark(group="E14-saxpy")
+def test_e14_saxpy_scalar(benchmark):
+    compiled = compile_array(SAXPY, params={"n": N})
+    result = benchmark(compiled, vector_env())
+    assert result.at(10) == 2.5 * 9.0 + 1.0
+
+
+@pytest.mark.benchmark(group="E14-saxpy")
+def test_e14_saxpy_vectorized(benchmark):
+    compiled = compile_array(SAXPY, params={"n": N},
+                             options=CodegenOptions(vectorize=True))
+    assert "_vslice(" in compiled.source
+    result = benchmark(compiled, vector_env())
+    assert result.at(10) == 2.5 * 9.0 + 1.0
+
+
+@pytest.mark.benchmark(group="E14-squares")
+def test_e14_squares_scalar(benchmark):
+    compiled = compile_array(SQUARES, params={"n": N})
+    result = benchmark(compiled, {"n": N})
+    assert result.at(N) == N * N
+
+
+@pytest.mark.benchmark(group="E14-squares")
+def test_e14_squares_vectorized(benchmark):
+    compiled = compile_array(SQUARES, params={"n": N},
+                             options=CodegenOptions(vectorize=True))
+    result = benchmark(compiled, {"n": N})
+    assert result.at(N) == float(N * N)
+
+
+@pytest.mark.benchmark(group="E14-gather")
+def test_e14_reversed_gather_vectorized(benchmark):
+    compiled = compile_array(STENCIL_FREE, params={"n": N},
+                             options=CodegenOptions(vectorize=True))
+    assert "_vslice(" in compiled.source
+    env = vector_env()
+    result = benchmark(compiled, env)
+    assert result.at(1) == 0.5 * (0.0 + float(N - 1))
+
+
+def test_e14_carried_loops_never_vectorize():
+    from repro.kernels import FORWARD_RECURRENCE, WAVEFRONT
+
+    recurrence = compile_array(FORWARD_RECURRENCE, params={"n": 50},
+                               options=CodegenOptions(vectorize=True))
+    assert "for i in range" in recurrence.source
+
+    wavefront = compile_array(WAVEFRONT, params={"n": 20},
+                              options=CodegenOptions(vectorize=True))
+    # Interior nest stays scalar even though borders vectorize.
+    assert "for j in range" in wavefront.source

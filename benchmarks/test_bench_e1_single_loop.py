@@ -1,0 +1,30 @@
+"""E1 — §5 example 1: dependence graph and schedule of the stride-3 loop.
+
+Paper artifact: the first dependence-graph figure — edges ``1 -> 2 (<)``
+and ``1 -> 3 (=)``, loop forward, clause 1 before clause 3.  The bench
+times the full analysis (subscript tests + refinement + scheduling).
+"""
+
+import pytest
+
+from repro import analyze
+from repro.kernels import STRIDE3_SCHEMATIC
+
+EXPECTED_EDGES = {
+    (1, 2, ("<",)),
+    (1, 3, ("=",)),
+}
+
+
+@pytest.mark.benchmark(group="E1-analysis")
+def test_e1_analysis(benchmark):
+    report = benchmark(analyze, STRIDE3_SCHEMATIC)
+    edges = {
+        (e.src.index + 1, e.dst.index + 1, e.direction)
+        for e in report.edges
+    }
+    assert edges == EXPECTED_EDGES
+    assert report.schedule.ok
+    assert report.schedule.loop_directions() == {"i": ["forward"]}
+    order = report.schedule.clause_order()
+    assert order.index(0) < order.index(2)

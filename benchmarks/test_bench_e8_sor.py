@@ -1,0 +1,73 @@
+"""E8 — §9 Gauss-Seidel / SOR / Livermore Kernel 23 wavefront.
+
+Paper claim: the four self-cyclic edges (true (<,=), (=,<); anti
+(<,=), (=,<)) all agree with forward/forward loops, so the update
+compiles with **no thunks and no copies** — the best case of the whole
+framework.  Series: compiled in-place SOR vs hand-coded SOR vs the
+thunked monolithic equivalent.
+"""
+
+import pytest
+
+from repro import FlatArray, compile_array, compile_array_inplace
+from repro.kernels import SOR, mesh_cells, ref_sor
+from repro.runtime import incremental
+from repro.runtime.thunks import STATS as THUNK_STATS
+
+M = 32
+OMEGA = 1.5
+
+# Monolithic form of one SOR sweep (fresh output array), used for the
+# thunked comparison: same arithmetic, no storage reuse.
+SOR_MONOLITHIC = """
+letrec a = array ((1,1),(m,m))
+   ([ (1,j) := u!(1,j) | j <- [1..m] ] ++
+    [ (m,j) := u!(m,j) | j <- [1..m] ] ++
+    [ (i,1) := u!(i,1) | i <- [2..m-1] ] ++
+    [ (i,m) := u!(i,m) | i <- [2..m-1] ] ++
+    [ (i,j) := u!(i,j) + omega *
+         (0.25 * (a!(i-1,j) + a!(i,j-1) + u!(i+1,j) + u!(i,j+1))
+          - u!(i,j))
+      | i <- [2..m-1], j <- [2..m-1] ])
+in a
+"""
+
+
+@pytest.mark.benchmark(group="E8-sor")
+def test_e8_compiled_inplace(benchmark, mesh_factory):
+    compiled = compile_array_inplace(SOR, "u", params={"m": M})
+    assert compiled.report.strategy == "inplace"
+    assert compiled.report.schedule.loop_directions() == {
+        "i": ["forward"], "j": ["forward"],
+    }
+
+    def run():
+        arr = mesh_factory(M)
+        compiled({"u": arr, "omega": OMEGA})
+        return arr
+
+    incremental.STATS.reset()
+    THUNK_STATS.reset()
+    result = benchmark(run)
+    assert incremental.STATS.cells_copied == 0  # zero copies
+    assert THUNK_STATS.created == 0             # zero thunks
+    assert result.to_list() == pytest.approx(ref_sor(mesh_cells(M), M, OMEGA))
+
+
+@pytest.mark.benchmark(group="E8-sor")
+def test_e8_hand_coded(benchmark):
+    result = benchmark(ref_sor, mesh_cells(M), M, OMEGA)
+    assert len(result) == M * M
+
+
+@pytest.mark.benchmark(group="E8-sor")
+def test_e8_thunked_monolithic(benchmark):
+    compiled = compile_array(SOR_MONOLITHIC, params={"m": M},
+                             force_strategy="thunked")
+    u = FlatArray.from_list(((1, 1), (M, M)), mesh_cells(M))
+
+    def run():
+        return compiled({"u": u, "m": M, "omega": OMEGA})
+
+    result = benchmark(run)
+    assert result.to_list() == pytest.approx(ref_sor(mesh_cells(M), M, OMEGA))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Iterative PDE solvers compiled for in-place execution (paper §9).
+
+Solves the Laplace equation on a square mesh with fixed boundary
+values, comparing three compiled update kernels:
+
+* **Jacobi** — reads only the old mesh: anti-dependence self-cycles in
+  both loop directions, broken by node-splitting (a previous-row vector
+  and a previous-element scalar);
+* **Gauss-Seidel** — the paper's wavefront: new values north/west, old
+  values south/east; forward/forward loops need no temporaries at all;
+* **SOR** — Gauss-Seidel with over-relaxation (Livermore Kernel 23's
+  structure).
+
+All three run in the mesh's own storage.  The run prints iteration
+counts to convergence and the exact copy traffic each kernel's
+temporaries cost.
+
+Run:  python examples/iterative_solvers.py
+"""
+
+import math
+
+from repro import FlatArray, compile_array_inplace
+from repro.kernels import GAUSS_SEIDEL, JACOBI, SOR
+from repro.runtime import incremental
+
+M = 24          # mesh size (M x M, boundary fixed)
+TOLERANCE = 1e-6
+MAX_SWEEPS = 8000
+
+
+def make_mesh():
+    """Boundary: top edge held at 100, others at 0; interior 0."""
+    cells = []
+    for i in range(1, M + 1):
+        for j in range(1, M + 1):
+            cells.append(100.0 if i == 1 else 0.0)
+    return FlatArray.from_list(((1, 1), (M, M)), cells)
+
+
+def solve(kernel_src, label, extra_env=None):
+    compiled = compile_array_inplace(kernel_src, "u", params={"m": M})
+    mesh = make_mesh()
+    env = {"u": mesh}
+    env.update(extra_env or {})
+    incremental.STATS.reset()
+    sweeps = 0
+    while sweeps < MAX_SWEEPS:
+        before = list(mesh.cells)
+        compiled(env)
+        sweeps += 1
+        delta = max(
+            abs(a - b) for a, b in zip(before, mesh.cells)
+        )
+        if delta < TOLERANCE:
+            break
+    copies = incremental.STATS.cells_copied
+    print(
+        f"{label:14s} converged in {sweeps:5d} sweeps | "
+        f"buffer copies per sweep: {copies / sweeps:8.1f} | "
+        f"strategy: {compiled.report.strategy}"
+    )
+    return mesh, sweeps
+
+
+def main():
+    print(f"Laplace equation on a {M}x{M} mesh, top edge = 100\n")
+    jacobi_mesh, jacobi_sweeps = solve(JACOBI, "Jacobi")
+    gs_mesh, gs_sweeps = solve(GAUSS_SEIDEL, "Gauss-Seidel")
+    omega = 2.0 / (1.0 + math.sin(math.pi / (M - 1)))
+    sor_mesh, sor_sweeps = solve(SOR, f"SOR w={omega:.2f}",
+                                 {"omega": omega})
+
+    print()
+    print("Classic convergence ordering (SOR < GS < Jacobi sweeps):")
+    print(f"  {sor_sweeps} < {gs_sweeps} < {jacobi_sweeps}:",
+          sor_sweeps < gs_sweeps < jacobi_sweeps)
+
+    # All three converge to the same harmonic function.
+    worst = max(
+        abs(a - b) for a, b in zip(jacobi_mesh.cells, sor_mesh.cells)
+    )
+    print(f"  max |Jacobi - SOR| at fixed point: {worst:.2e}")
+
+    center = jacobi_mesh.at((M // 2, M // 2))
+    print(f"  potential at mesh centre: {center:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Code generation: scheduled comprehensions to Python loop nests.
+
+* :mod:`repro.codegen.exprs` — expression translation from surface AST
+  to Python source.
+* :mod:`repro.codegen.emit` — emitters: thunkless scheduled loops,
+  thunked fallback, and in-place (storage-reuse) loops with
+  node-splitting temporaries.
+* :mod:`repro.codegen.compile` — turning emitted source into callables.
+* :mod:`repro.codegen.support` — the small runtime the generated code
+  imports (flat arrays, check helpers, counters).
+"""
+
+from repro.codegen.compile import CompiledComp, compile_source
+from repro.codegen.emit import (
+    CodegenOptions,
+    emit_inplace,
+    emit_thunked,
+    emit_thunkless,
+)
+from repro.codegen.support import FlatArray
+
+__all__ = [
+    "CodegenOptions",
+    "CompiledComp",
+    "FlatArray",
+    "compile_source",
+    "emit_inplace",
+    "emit_thunked",
+    "emit_thunkless",
+]

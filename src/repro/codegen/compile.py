@@ -1,0 +1,35 @@
+"""Turning emitted source into callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+def compile_source(source: str, entry: str = "_build") -> Callable:
+    """Exec generated source and return its entry function."""
+    namespace: Dict[str, object] = {}
+    exec(compile(source, "<repro-codegen>", "exec"), namespace)
+    return namespace[entry]
+
+
+class CompiledComp:
+    """A compiled array comprehension.
+
+    Calling it with an environment dict (size parameters, input arrays,
+    free functions) builds the array and returns a
+    :class:`~repro.codegen.support.FlatArray`.  ``source`` holds the
+    generated Python for inspection; ``report`` (when produced by the
+    pipeline) the compilation decisions.
+    """
+
+    def __init__(self, source: str, report=None):
+        self.source = source
+        self.report = report
+        self._fn = compile_source(source)
+
+    def __call__(self, env: Optional[Dict] = None):
+        return self._fn(dict(env or {}))
+
+    def __repr__(self):
+        strategy = getattr(self.report, "strategy", "?")
+        return f"CompiledComp(strategy={strategy!r})"

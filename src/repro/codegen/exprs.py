@@ -1,0 +1,207 @@
+"""Translation of surface expressions to Python source fragments.
+
+Used by the emitters for clause values, subscripts, guards, and loop
+bounds.  Loop indices keep their source names; size parameters and
+free functions are bound from the environment in the generated
+preamble; array reads are rewritten to flat-buffer accesses with
+inlined row-major linearization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.lang import ast
+
+#: Surface functions translated to Python intrinsics.
+_INTRINSICS = {
+    "abs": "abs",
+    "min": "min",
+    "max": "max",
+    "sqrt": "_math.sqrt",
+    "exp": "_math.exp",
+    "log": "_math.log",
+    "sin": "_math.sin",
+    "cos": "_math.cos",
+    "fromIntegral": "float",
+    "truncate": "int",
+    "negate": "(lambda _x: -_x)",
+    "signum": "(lambda _x: (_x > 0) - (_x < 0))",
+}
+
+_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "==": "==",
+    "/=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "&&": "and",
+    "||": "or",
+}
+
+_MACRO_DIV = {"div": "//", "mod": "%"}
+
+
+class CodegenError(Exception):
+    """The expression cannot be compiled (pipeline falls back)."""
+
+
+class ExprGen:
+    """Expression translator for one compilation unit.
+
+    Parameters
+    ----------
+    array_reader:
+        Callback ``(name, dim_sources) -> python_expr`` rewriting a
+        read ``name ! idx``; ``dim_sources`` are the translated
+        per-dimension index strings.
+    locals_:
+        Names available as Python locals (loop indices, let temps).
+    env_names:
+        Names to fetch from the environment; collected into
+        ``self.used_env`` so the emitter can bind them in the preamble.
+    """
+
+    def __init__(
+        self,
+        array_reader: Callable,
+        locals_: Optional[Set[str]] = None,
+        params: Optional[Dict[str, int]] = None,
+    ):
+        self.array_reader = array_reader
+        self.locals = set(locals_ or ())
+        self.params = dict(params or {})
+        self.used_env: Set[str] = set()
+
+    def clone_with(self, extra_locals) -> "ExprGen":
+        """Copy with additional local names in scope."""
+        child = ExprGen(self.array_reader, self.locals | set(extra_locals),
+                        self.params)
+        child.used_env = self.used_env  # shared accumulation
+        return child
+
+    # ------------------------------------------------------------------
+
+    def emit(self, node: ast.Node) -> str:
+        """Translate ``node`` to a parenthesized Python expression."""
+        if isinstance(node, ast.Lit):
+            return repr(node.value)
+        if isinstance(node, ast.Var):
+            return self.var(node.name)
+        if isinstance(node, ast.UnOp):
+            if node.op == "-":
+                return f"(-{self.emit(node.operand)})"
+            if node.op == "not":
+                return f"(not {self.emit(node.operand)})"
+            raise CodegenError(f"unary operator {node.op!r}")
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(node.op)
+            if op is None:
+                raise CodegenError(f"operator {node.op!r}")
+            return f"({self.emit(node.left)} {op} {self.emit(node.right)})"
+        if isinstance(node, ast.If):
+            return (
+                f"({self.emit(node.then)} if {self.emit(node.cond)} "
+                f"else {self.emit(node.else_)})"
+            )
+        if isinstance(node, ast.TupleExpr):
+            inner = ", ".join(self.emit(item) for item in node.items)
+            return f"({inner})"
+        if isinstance(node, ast.Index):
+            return self.index(node)
+        if isinstance(node, ast.App):
+            return self.app(node)
+        if isinstance(node, ast.Let):
+            if node.kind != "let":
+                raise CodegenError("recursive let inside a clause value")
+            inner = self.clone_with(b.name for b in node.binds)
+            args = ", ".join(
+                f"{b.name}={self.emit(b.expr)}" for b in node.binds
+            )
+            return f"(lambda {args}: {inner.emit(node.body)})()"
+        raise CodegenError(
+            f"cannot compile {type(node).__name__} inside a clause value"
+        )
+
+    def var(self, name: str) -> str:
+        if name in self.locals:
+            return name
+        if name in self.params:
+            return repr(self.params[name])
+        self.used_env.add(name)
+        return f"_v_{name}"
+
+    def index(self, node: ast.Index) -> str:
+        if not isinstance(node.arr, ast.Var):
+            raise CodegenError("computed array expressions are not supported")
+        idx = node.idx
+        dims = idx.items if isinstance(idx, ast.TupleExpr) else [idx]
+        sources = [self.emit(dim) for dim in dims]
+        return self.array_reader(node.arr.name, sources, self)
+
+    def app(self, node: ast.App) -> str:
+        if isinstance(node.fn, ast.Var):
+            name = node.fn.name
+            if (
+                name in ("sum", "product")
+                and len(node.args) == 1
+                and isinstance(node.args[0], (ast.Comp, ast.NestedComp))
+            ):
+                return self.reduction(name, node.args[0])
+            if name in _MACRO_DIV and len(node.args) == 2:
+                left, right = (self.emit(arg) for arg in node.args)
+                return f"({left} {_MACRO_DIV[name]} {right})"
+            if name in _INTRINSICS:
+                args = ", ".join(self.emit(arg) for arg in node.args)
+                return f"{_INTRINSICS[name]}({args})"
+            if name not in self.locals:
+                # A free function: fetched from the environment.
+                self.used_env.add(name)
+                args = ", ".join(self.emit(arg) for arg in node.args)
+                return f"_v_{name}({args})"
+        fn = self.emit(node.fn)
+        args = ", ".join(self.emit(arg) for arg in node.args)
+        return f"{fn}({args})"
+
+    def reduction(self, name: str, comp) -> str:
+        """Fuse ``sum``/``product`` over a comprehension into a Python
+        generator expression — the codegen side of the paper's §3.1
+        ``foldl``-to-DO-loop translation (no intermediate list)."""
+        if isinstance(comp, ast.NestedComp):
+            raise CodegenError("reduction over a nested comprehension")
+        inner = self
+        clauses = []
+        for qual in comp.quals:
+            if isinstance(qual, ast.Generator):
+                if not isinstance(qual.source, ast.EnumSeq):
+                    raise CodegenError(
+                        "reduction generator must be an arithmetic sequence"
+                    )
+                seq = qual.source
+                start = inner.emit(seq.start)
+                stop = inner.emit(seq.stop)
+                if seq.second is None:
+                    step, sgn = "1", "1"
+                else:
+                    step = f"(({inner.emit(seq.second)}) - ({start}))"
+                    sgn = f"(1 if {step} > 0 else -1)"
+                inner = inner.clone_with([qual.var])
+                clauses.append(
+                    f"for {qual.var} in range({start}, "
+                    f"({stop}) + {sgn}, {step})"
+                )
+            elif isinstance(qual, ast.Guard):
+                clauses.append(f"if {inner.emit(qual.cond)}")
+            else:
+                raise CodegenError("let qualifier inside a reduction")
+        head = inner.emit(comp.head)
+        body = f"{head} {' '.join(clauses)}"
+        if name == "sum":
+            return f"sum({body})"
+        return f"_math.prod({body})"

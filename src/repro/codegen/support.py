@@ -1,0 +1,157 @@
+"""Runtime support for generated code.
+
+Generated loop nests work on flat Python lists; :class:`FlatArray`
+wraps one with its bounds for the public API.  The check helpers exist
+so that *when analysis cannot elide a check* the generated code calls
+them — and so benchmarks can price exactly what the elision buys
+(experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.runtime.bounds import Bounds
+from repro.runtime.errors import (
+    BoundsError,
+    UndefinedElementError,
+    WriteCollisionError,
+)
+
+
+class CheckStats:
+    """Counters of run-time checks executed by generated code."""
+
+    __slots__ = ("bounds_checks", "collision_checks", "empty_checks")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        """Zero all counters."""
+        self.bounds_checks = 0
+        self.collision_checks = 0
+        self.empty_checks = 0
+
+    def snapshot(self):
+        """The counters as a dict."""
+        return {
+            "bounds_checks": self.bounds_checks,
+            "collision_checks": self.collision_checks,
+            "empty_checks": self.empty_checks,
+        }
+
+    def __repr__(self):
+        return (
+            f"CheckStats(bounds={self.bounds_checks}, "
+            f"collision={self.collision_checks}, "
+            f"empty={self.empty_checks})"
+        )
+
+
+#: Global check statistics; benchmarks reset before a run.
+CHECK_STATS = CheckStats()
+
+
+class FlatArray:
+    """An evaluated array: bounds plus a row-major cell list.
+
+    The result type of compiled comprehensions; also accepted as an
+    input array (the generated preamble flattens any object exposing
+    ``bounds`` and ``to_list``).
+    """
+
+    __slots__ = ("bounds", "cells")
+
+    def __init__(self, bounds: Bounds, cells: List[Any]):
+        self.bounds = bounds
+        self.cells = cells
+        if len(cells) != bounds.size():
+            raise ValueError(
+                f"cell count {len(cells)} != bounds size {bounds.size()}"
+            )
+
+    @classmethod
+    def from_list(cls, bounds, values) -> "FlatArray":
+        """Wrap a row-major value list."""
+        b = bounds if isinstance(bounds, Bounds) else Bounds(*bounds)
+        return cls(b, list(values))
+
+    def at(self, subscript) -> Any:
+        """Element lookup."""
+        return self.cells[self.bounds.index(subscript)]
+
+    def __getitem__(self, subscript) -> Any:
+        return self.at(subscript)
+
+    def assocs(self):
+        """Yield ``(subscript, value)`` in row-major order."""
+        for subscript, value in zip(self.bounds.range(), self.cells):
+            yield subscript, value
+
+    def to_list(self) -> List[Any]:
+        """All cells, row-major."""
+        return list(self.cells)
+
+    def __len__(self):
+        return len(self.cells)
+
+    def __eq__(self, other):
+        if not hasattr(other, "bounds") or not hasattr(other, "to_list"):
+            return NotImplemented
+        return self.bounds == other.bounds and self.cells == other.to_list()
+
+    def __repr__(self):
+        return f"FlatArray(bounds={self.bounds!r}, size={len(self)})"
+
+
+def flatten_input(value) -> tuple:
+    """Normalize an input array to ``(bounds, flat_cells)``.
+
+    Accepts :class:`FlatArray`, the runtime array types, or a
+    ``(bounds, list)`` pair.
+    """
+    if isinstance(value, FlatArray):
+        return value.bounds, value.cells
+    if hasattr(value, "bounds") and hasattr(value, "to_list"):
+        return value.bounds, value.to_list()
+    raise TypeError(f"cannot use {value!r} as an input array")
+
+
+def make_slice(start: int, stride: int, count: int) -> slice:
+    """Strided slice covering ``count`` cells from ``start``.
+
+    Handles the negative-stride edge case where the computed stop
+    index would wrap around Python's from-the-end convention.
+    """
+    if count <= 0:
+        return slice(0, 0)
+    stop = start + stride * count
+    if stride < 0 and stop < 0:
+        stop = None
+    return slice(start, stop, stride)
+
+
+def check_bounds(linear: int, size: int, subscript) -> None:
+    """Runtime bounds check (counted)."""
+    CHECK_STATS.bounds_checks += 1
+    if not 0 <= linear < size:
+        raise BoundsError(subscript, "array bounds")
+
+
+def check_collision(defined: List[bool], linear: int, subscript) -> None:
+    """Runtime write-collision check (counted)."""
+    CHECK_STATS.collision_checks += 1
+    if defined[linear]:
+        raise WriteCollisionError(subscript)
+    defined[linear] = True
+
+
+def check_empties(defined: Sequence[bool], bounds: Bounds) -> None:
+    """Runtime definedness sweep (counted)."""
+    CHECK_STATS.empty_checks += len(defined)
+    for offset, flag in enumerate(defined):
+        if not flag:
+            for position, subscript in enumerate(bounds.range()):
+                if position == offset:
+                    raise UndefinedElementError(subscript)

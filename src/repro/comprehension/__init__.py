@@ -1,0 +1,33 @@
+"""Comprehension middle end: loop IR, TE translation, deforestation.
+
+* :mod:`repro.comprehension.loopir` — the loop-nest IR over which
+  subscript analysis and scheduling run: normalized loops, s/v clauses,
+  affine subscripts, extracted array reads.
+* :mod:`repro.comprehension.build` — construction of the loop IR from
+  surface array-comprehension syntax (including nested comprehensions).
+* :mod:`repro.comprehension.translate` — the paper's TE translation of
+  (nested) list comprehensions into ``flatmap`` form (§3.1).
+* :mod:`repro.comprehension.deforest` — fusion of
+  ``foldl``-over-comprehension into loop form (the paper's "DO loop"
+  transformation; also used for ``sum`` and friends).
+"""
+
+from repro.comprehension.build import BuildError, build_array_comp, find_array_comp
+from repro.comprehension.loopir import (
+    ArrayComp,
+    LoopNest,
+    Read,
+    SVClause,
+)
+from repro.comprehension.translate import te_translate
+
+__all__ = [
+    "ArrayComp",
+    "BuildError",
+    "LoopNest",
+    "Read",
+    "SVClause",
+    "build_array_comp",
+    "find_array_comp",
+    "te_translate",
+]

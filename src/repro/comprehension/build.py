@@ -1,0 +1,320 @@
+"""Build the loop IR from surface array-comprehension syntax.
+
+Handles ordinary and nested comprehensions, appends, explicit pair
+lists, guards, ``let``/``where`` blocks, and ``if`` at the list level
+(which TE turns into guards).  Generators must range over arithmetic
+sequences — the paper's assumption for subscript analysis — and loops
+are normalized on the way in.
+
+Size parameters (``n`` etc.) are supplied as concrete integers via
+``params``; without them trip counts stay unknown and the analysis is
+correspondingly conservative.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.affine import Affine, NonAffineError, affine_from_ast
+from repro.core.subscripts import LoopInfo
+from repro.comprehension.loopir import ArrayComp, LoopNest, Read, SVClause
+from repro.lang import ast
+from repro.runtime.bounds import Bounds
+
+
+class BuildError(Exception):
+    """The expression is not a compilable array comprehension."""
+
+
+def find_array_comp(expr: ast.Node) -> Tuple[str, ast.Node, ast.Node]:
+    """Locate ``array bounds pairs`` and the defined name.
+
+    Accepts either a bare ``array b e`` application (name ``""``) or a
+    ``let``/``letrec``/``letrec*`` whose first binding is one; returns
+    ``(name, bounds_ast, pairs_ast)``.
+    """
+    if isinstance(expr, ast.Let) and expr.binds:
+        bind = expr.binds[0]
+        name, bounds_ast, pairs_ast = find_array_comp(bind.expr)
+        return bind.name, bounds_ast, pairs_ast
+    if (
+        isinstance(expr, ast.App)
+        and isinstance(expr.fn, ast.Var)
+        and expr.fn.name == "array"
+        and len(expr.args) == 2
+    ):
+        return "", expr.args[0], expr.args[1]
+    raise BuildError("expected an application of 'array' to bounds and pairs")
+
+
+def _static_bounds(bounds_ast: ast.Node, params) -> Optional[Bounds]:
+    """Evaluate the bounds pair to concrete integers if possible."""
+
+    def corner(node):
+        if isinstance(node, ast.TupleExpr):
+            return tuple(corner(item) for item in node.items)
+        affine = affine_from_ast(node, params)
+        if not affine.is_constant():
+            raise NonAffineError("symbolic bound")
+        return affine.const
+
+    try:
+        if not (isinstance(bounds_ast, ast.TupleExpr)
+                and len(bounds_ast.items) == 2):
+            return None
+        low = corner(bounds_ast.items[0])
+        high = corner(bounds_ast.items[1])
+        return Bounds(low, high)
+    except NonAffineError:
+        return None
+
+
+class _Builder:
+    def __init__(self, params: Dict[str, int]):
+        self.params = dict(params)
+        self.clauses: List[SVClause] = []
+        self.fresh = itertools.count()
+
+    # The substitution environment maps original index names to affine
+    # forms over normalized index names; ``loop_stack`` tracks enclosing
+    # LoopNest objects.
+
+    def build(self, node: ast.Node, loops, subst, guards, lets) -> List:
+        """Return the list of entities for ``node`` in the current context."""
+        if isinstance(node, ast.Append):
+            return (
+                self.build(node.left, loops, subst, guards, lets)
+                + self.build(node.right, loops, subst, guards, lets)
+            )
+        if isinstance(node, ast.Let):
+            if node.kind != "let":
+                raise BuildError("letrec inside a pair list is not supported")
+            return self.build(
+                node.body, loops, subst, guards, lets + list(node.binds)
+            )
+        if isinstance(node, ast.If):
+            then_guard = guards + [node.cond]
+            else_guard = guards + [
+                ast.UnOp(op="not", operand=node.cond)
+            ]
+            return (
+                self.build(node.then, loops, subst, then_guard, lets)
+                + self.build(node.else_, loops, subst, else_guard, lets)
+            )
+        if isinstance(node, ast.ListExpr):
+            entities = []
+            for item in node.items:
+                entities.append(
+                    self.make_clause(item, loops, subst, guards, lets)
+                )
+            return entities
+        if isinstance(node, ast.Comp):
+            return self.build_quals(
+                node.quals, node.head, False, loops, subst, guards, lets
+            )
+        if isinstance(node, ast.NestedComp):
+            return self.build_quals(
+                node.quals, node.body, True, loops, subst, guards, lets
+            )
+        if isinstance(node, ast.SVPair):
+            # Tolerated shorthand: a bare pair where a list is expected.
+            return [self.make_clause(node, loops, subst, guards, lets)]
+        raise BuildError(
+            f"cannot compile {type(node).__name__} as a pair list"
+        )
+
+    def build_quals(self, quals, inner, nested, loops, subst, guards, lets):
+        if not quals:
+            if nested:
+                return self.build(inner, loops, subst, guards, lets)
+            return [self.make_clause(inner, loops, subst, guards, lets)]
+        first, rest = quals[0], list(quals[1:])
+        if isinstance(first, ast.Generator):
+            loop = self.make_loop(first, subst)
+            new_subst = dict(subst)
+            # i = start + step*(t-1) over the normalized index t.
+            start_affine = self.affine(first.source.start, subst)
+            if start_affine is None:
+                inner_affine = None
+            else:
+                inner_affine = (
+                    Affine.var(loop.info.var, loop.step)
+                    + start_affine
+                    - Affine.constant(loop.step)
+                )
+            new_subst[first.var] = inner_affine
+            loop.children = self.build_quals(
+                rest, inner, nested, loops + (loop,), new_subst, [], lets
+            )
+            if guards:
+                # Guards outside the generator apply to every clause below.
+                self._push_guards(loop, guards)
+            return [loop]
+        if isinstance(first, ast.Guard):
+            return self.build_quals(
+                rest, inner, nested, loops, subst, guards + [first.cond], lets
+            )
+        if isinstance(first, ast.LetQual):
+            return self.build_quals(
+                rest, inner, nested, loops, subst, guards,
+                lets + list(first.binds),
+            )
+        raise BuildError(f"bad qualifier {type(first).__name__}")
+
+    def _push_guards(self, loop: LoopNest, guards):
+        for child in loop.children:
+            if isinstance(child, LoopNest):
+                self._push_guards(child, guards)
+            else:
+                child.guards = list(guards) + child.guards
+
+    def make_loop(self, gen: ast.Generator, subst) -> LoopNest:
+        source = gen.source
+        if not isinstance(source, ast.EnumSeq):
+            raise BuildError(
+                f"generator {gen.var!r} must range over an arithmetic "
+                "sequence"
+            )
+        step = 1
+        if source.second is not None:
+            start_affine = self.affine(source.start, subst)
+            second_affine = self.affine(source.second, subst)
+            if start_affine is None or second_affine is None:
+                raise BuildError(
+                    f"generator {gen.var!r} has a non-affine stride"
+                )
+            stride = second_affine - start_affine
+            if not stride.is_constant() or stride.const == 0:
+                raise BuildError(
+                    f"generator {gen.var!r} must have a constant nonzero "
+                    "stride"
+                )
+            step = stride.const
+        count = self.trip_count(source, step, subst)
+        norm_var = f"{gen.var}.{next(self.fresh)}"
+        info = LoopInfo(norm_var, count)
+        return LoopNest(info=info, var=gen.var, start=source.start,
+                        stop=source.stop, step=step)
+
+    def trip_count(self, source: ast.EnumSeq, step: int, subst):
+        start = self.affine(source.start, subst)
+        stop = self.affine(source.stop, subst)
+        if start is None or stop is None:
+            return None
+        if not (start.is_constant() and stop.is_constant()):
+            return None  # Non-rectangular nest: count unknown.
+        span = stop.const - start.const
+        if step > 0:
+            return max(0, span // step + 1) if span >= 0 else 0
+        span = -span
+        return max(0, span // (-step) + 1) if span >= 0 else 0
+
+    def affine(self, node: ast.Node, subst) -> Optional[Affine]:
+        """Affine form over normalized indices, or None."""
+        try:
+            raw = affine_from_ast(node, self.params)
+        except NonAffineError:
+            return None
+        substitution = {}
+        for var in raw.vars:
+            if var in subst:
+                if subst[var] is None:
+                    return None
+                substitution[var] = subst[var]
+            else:
+                return None  # Unknown symbol: not statically analyzable.
+        return raw.substitute(substitution)
+
+    def make_clause(self, item, loops, subst, guards, lets) -> SVClause:
+        if not isinstance(item, ast.SVPair):
+            raise BuildError(
+                "innermost list elements must be 's := v' pairs, got "
+                f"{type(item).__name__}"
+            )
+        subscripts = self.subscript_affines(item.sub, subst)
+        clause = SVClause(
+            index=len(self.clauses),
+            subscripts=subscripts,
+            subscript_ast=item.sub,
+            value=item.val,
+            guards=list(guards),
+            lets=list(lets),
+            loops=tuple(loops),
+        )
+        clause.reads = self.extract_reads(clause, subst)
+        self.clauses.append(clause)
+        return clause
+
+    def subscript_affines(self, sub: ast.Node, subst):
+        dims = sub.items if isinstance(sub, ast.TupleExpr) else [sub]
+        out = []
+        for dim in dims:
+            affine = self.affine(dim, subst)
+            if affine is None:
+                return None
+            out.append(affine)
+        return tuple(out)
+
+    def extract_reads(self, clause: SVClause, subst) -> List[Read]:
+        reads = []
+        sources = [clause.value] + clause.guards + [
+            bind.expr for bind in clause.lets
+        ]
+        for source in sources:
+            for node in source.walk():
+                if isinstance(node, ast.Index) and isinstance(node.arr, ast.Var):
+                    reads.append(
+                        Read(
+                            array=node.arr.name,
+                            subscripts=self.subscript_affines(node.idx, subst),
+                            node=node,
+                        )
+                    )
+        return reads
+
+
+def build_array_comp(
+    name: str,
+    bounds_ast: Optional[ast.Node],
+    pairs_ast: ast.Node,
+    params: Optional[Dict[str, int]] = None,
+) -> ArrayComp:
+    """Compile a pair-list expression into an :class:`ArrayComp`.
+
+    ``params`` maps size-parameter names to concrete integers; loop
+    trip counts and array bounds become statically known exactly when
+    they depend only on literals and ``params``.  ``bounds_ast`` may be
+    ``None`` for ``bigupd``-style updates whose bounds come from the
+    input array at run time; the rank is then inferred from the first
+    clause's write subscript.
+    """
+    builder = _Builder(params or {})
+    roots = builder.build(pairs_ast, (), {}, [], [])
+    bounds = None
+    rank = 1
+    if bounds_ast is not None:
+        bounds = _static_bounds(bounds_ast, params or {})
+        if isinstance(bounds_ast, ast.TupleExpr) and isinstance(
+            bounds_ast.items[0], ast.TupleExpr
+        ):
+            rank = len(bounds_ast.items[0].items)
+    elif builder.clauses:
+        first_sub = builder.clauses[0].subscript_ast
+        if isinstance(first_sub, ast.TupleExpr):
+            rank = len(first_sub.items)
+    comp = ArrayComp(
+        name=name,
+        bounds_ast=bounds_ast,
+        bounds=bounds,
+        roots=roots,
+        clauses=builder.clauses,
+        rank=rank,
+    )
+    for clause in comp.clauses:
+        if clause.subscripts is not None and len(clause.subscripts) != rank:
+            raise BuildError(
+                f"{clause.label} writes rank-{len(clause.subscripts)} "
+                f"subscript into rank-{rank} array"
+            )
+    return comp

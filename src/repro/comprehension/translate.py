@@ -1,0 +1,101 @@
+"""The TE translation of (nested) list comprehensions (paper §3.1).
+
+TE rewrites comprehensions into applications of ``flatmap``::
+
+    TE{ [* E | i <- L *] }      = flatmap (\\i . TE{E}) L
+    TE{ [* E | i <- L; Q *] }   = flatmap (\\i . TE{ [* E | Q *] }) L
+    TE{ [* E | B; Q *] }        = if B then TE{ [* E | Q *] } else []
+    TE{ E1 ++ E2 }              = TE{E1} ++ TE{E2}
+    TE{ let BINDS in E }        = let BINDS in TE{E}
+    TE{ [E] }                   = [E]
+
+Ordinary comprehensions use the same rules with an implicit singleton
+body.  The result is plain core syntax that the lazy interpreter can
+run (it has a ``flatmap`` primitive), which is how tests check that the
+translation preserves semantics.  TE is the *specification*; the
+efficient path is deforestation (:mod:`repro.comprehension.deforest`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+
+def te_translate(node: ast.Node) -> ast.Node:
+    """Apply TE recursively, eliminating every comprehension."""
+    if isinstance(node, ast.Comp):
+        return _te_quals(node.quals, ast.ListExpr(items=[node.head]))
+    if isinstance(node, ast.NestedComp):
+        return _te_quals(node.quals, te_translate(node.body))
+    if isinstance(node, ast.Append):
+        return ast.Append(
+            left=te_translate(node.left), right=te_translate(node.right)
+        )
+    if isinstance(node, ast.Let):
+        return ast.Let(
+            kind=node.kind,
+            binds=[
+                ast.Binding(name=b.name, params=b.params,
+                            expr=te_translate(b.expr))
+                for b in node.binds
+            ],
+            body=te_translate(node.body),
+        )
+    if isinstance(node, ast.ListExpr):
+        return ast.ListExpr(items=[te_translate(i) for i in node.items])
+    if isinstance(node, ast.If):
+        return ast.If(cond=te_translate(node.cond),
+                      then=te_translate(node.then),
+                      else_=te_translate(node.else_))
+    if isinstance(node, ast.App):
+        return ast.App(fn=te_translate(node.fn),
+                       args=[te_translate(a) for a in node.args])
+    if isinstance(node, ast.BinOp):
+        return ast.BinOp(op=node.op, left=te_translate(node.left),
+                         right=te_translate(node.right))
+    if isinstance(node, ast.UnOp):
+        return ast.UnOp(op=node.op, operand=te_translate(node.operand))
+    if isinstance(node, ast.SVPair):
+        return ast.SVPair(sub=te_translate(node.sub),
+                          val=te_translate(node.val))
+    if isinstance(node, ast.Index):
+        return ast.Index(arr=te_translate(node.arr),
+                         idx=te_translate(node.idx))
+    if isinstance(node, ast.TupleExpr):
+        return ast.TupleExpr(items=[te_translate(i) for i in node.items])
+    if isinstance(node, ast.Lam):
+        return ast.Lam(params=node.params, body=te_translate(node.body))
+    if isinstance(node, ast.EnumSeq):
+        return ast.EnumSeq(
+            start=te_translate(node.start),
+            second=te_translate(node.second) if node.second else None,
+            stop=te_translate(node.stop),
+        )
+    return node
+
+
+def _te_quals(quals: List[ast.Node], body: ast.Node) -> ast.Node:
+    """TE over a qualifier list with an already-translated body."""
+    if not quals:
+        return body
+    first, rest = quals[0], list(quals[1:])
+    inner = _te_quals(rest, body)
+    if isinstance(first, ast.Generator):
+        return ast.App(
+            fn=ast.Var("flatmap"),
+            args=[
+                ast.Lam(params=[first.var], body=inner),
+                te_translate(first.source),
+            ],
+        )
+    if isinstance(first, ast.Guard):
+        return ast.If(
+            cond=te_translate(first.cond),
+            then=inner,
+            else_=ast.ListExpr(items=[]),
+        )
+    if isinstance(first, ast.LetQual):
+        return ast.Let(kind="let", binds=list(first.binds), body=inner)
+    raise TypeError(f"bad qualifier {type(first).__name__}")

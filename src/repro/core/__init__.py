@@ -1,0 +1,55 @@
+"""The paper's primary contribution: subscript analysis and scheduling.
+
+Modules
+-------
+affine
+    Affine (linear + constant) integer expressions over loop indices.
+subscripts
+    Reference pairs, dependence equations, and the shared/unshared loop
+    bookkeeping of paper §6.
+gcd_test
+    The GCD test (necessary condition from Theorem 1, §6).
+banerjee
+    The Banerjee inequality test with direction-vector constraints
+    (Theorem 2, §6), including unshared-loop contributions.
+exact
+    The bounded-integer-solution exact test (exponential, §6).
+direction
+    Direction vectors and the search-tree refinement of ``(*,...,*)``.
+dependence
+    Construction of true/anti/output dependence edges between s/v
+    clauses of a comprehension (paper §5, §7, §9).
+graph
+    Dependence graphs: SCCs, topological sort, quotient graphs.
+ready
+    The ready/not-ready modified DFS of §8.1.3.
+schedule
+    Static scheduling of loop directions, clause order, and pass
+    splitting (§8), with thunk fallback detection.
+collisions
+    Write-collision and empties analysis (§4, §7).
+inplace
+    ``bigupd`` scheduling and node-splitting for in-place update (§9).
+pipeline
+    The end-to-end compiler driver.
+"""
+
+from repro.core.affine import Affine, NonAffineError
+from repro.core.banerjee import banerjee_test, term_bounds
+from repro.core.direction import DirVec, refine_directions
+from repro.core.exact import exact_test
+from repro.core.gcd_test import gcd_test
+from repro.core.subscripts import DependenceEquation, Reference
+
+__all__ = [
+    "Affine",
+    "DependenceEquation",
+    "DirVec",
+    "NonAffineError",
+    "Reference",
+    "banerjee_test",
+    "exact_test",
+    "gcd_test",
+    "refine_directions",
+    "term_bounds",
+]

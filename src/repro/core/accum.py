@@ -1,0 +1,136 @@
+"""Compilation of accumulated arrays (paper §3, §7 extension).
+
+The paper: "An accumulated array is created by specifying a default
+element value and a combining function f ... If f is not associative
+and commutative, the order of svpairs must be preserved ... Write
+collision edges then become true output dependence edges, and ordering
+information on these edges puts a constraint on the permissible
+scheduling.  An interesting direction for further work would be to
+extend this analysis to general accumulated arrays."
+
+This module is that extension:
+
+* the combining function is classified **commutative-associative**
+  (literal ``+``/``*``/``min``/``max`` shapes) or **ordered**;
+* for a commutative combiner, colliding writes commute and the usual
+  §8 scheduling applies (with flow edges, if the definition is
+  recursive — it rarely is);
+* for an ordered combiner, output-dependence edges between colliding
+  writes are ordering constraints; rather than threading them through
+  the scheduler we observe that *source order satisfies all of them
+  simultaneously* (foldl semantics), so the loops are emitted in
+  source order, forward — trading reordering freedom for correctness,
+  exactly the paper's "constraint on the permissible scheduling".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.comprehension.loopir import ArrayComp, LoopNest, SVClause
+from repro.core.collisions import NONE, analyze_collisions
+from repro.core.schedule import Schedule, ScheduledClause, ScheduledLoop
+from repro.lang import ast
+
+#: Combiner shapes recognized as commutative and associative.
+_COMMUTATIVE_OPS = {"+", "*"}
+_COMMUTATIVE_FNS = {"min", "max"}
+
+
+def classify_combiner(fn: ast.Node) -> Tuple[str, Optional[str]]:
+    """Classify a combining-function expression.
+
+    Returns ``(kind, op)`` where kind is ``"commutative"`` (op is the
+    operator/function name) or ``"ordered"`` (op may still name the
+    operation when recognizable, else ``None``).
+
+    Recognized commutative shapes: ``\\a b -> a + b``, ``\\a b -> b + a``
+    (same for ``*``), ``\\a b -> min a b`` / ``max``, and bare ``min``
+    / ``max`` variables.
+    """
+    if isinstance(fn, ast.Var) and fn.name in _COMMUTATIVE_FNS:
+        return "commutative", fn.name
+    if isinstance(fn, ast.Lam) and len(fn.params) == 2:
+        left_name, right_name = fn.params
+        body = fn.body
+        if isinstance(body, ast.BinOp) and body.op in _COMMUTATIVE_OPS:
+            operands = {left_name, right_name}
+            if (
+                isinstance(body.left, ast.Var)
+                and isinstance(body.right, ast.Var)
+                and {body.left.name, body.right.name} == operands
+            ):
+                return "commutative", body.op
+        if (
+            isinstance(body, ast.App)
+            and isinstance(body.fn, ast.Var)
+            and body.fn.name in _COMMUTATIVE_FNS
+            and len(body.args) == 2
+            and all(isinstance(a, ast.Var) for a in body.args)
+            and {a.name for a in body.args} == {left_name, right_name}
+        ):
+            return "commutative", body.fn.name
+        if isinstance(body, ast.BinOp):
+            return "ordered", body.op
+    return "ordered", None
+
+
+def source_schedule(comp: ArrayComp) -> Schedule:
+    """A schedule that replays the comprehension in source order.
+
+    Every loop runs forward over its written sequence; clause order is
+    textual.  This satisfies every output-dependence ordering
+    constraint of an ordered combiner, because the source order *is*
+    the fold order.
+    """
+
+    def convert(entities):
+        out = []
+        for entity in entities:
+            if isinstance(entity, SVClause):
+                out.append(ScheduledClause(entity))
+            else:
+                assert isinstance(entity, LoopNest)
+                out.append(
+                    ScheduledLoop(entity, "forward",
+                                  convert(entity.children))
+                )
+        return out
+
+    return Schedule(comp=comp, items=convert(comp.roots), ok=True)
+
+
+def find_accum_array(
+    expr: ast.Node,
+) -> Tuple[str, ast.Node, ast.Node, ast.Node, ast.Node]:
+    """Locate ``accumArray f init bounds pairs`` and the bound name.
+
+    Returns ``(name, f_ast, init_ast, bounds_ast, pairs_ast)``.
+    """
+    if isinstance(expr, ast.Let) and expr.binds:
+        bind = expr.binds[0]
+        _, f, init, bounds, pairs = find_accum_array(bind.expr)
+        return bind.name, f, init, bounds, pairs
+    if (
+        isinstance(expr, ast.App)
+        and isinstance(expr.fn, ast.Var)
+        and expr.fn.name == "accumArray"
+        and len(expr.args) == 4
+    ):
+        f, init, bounds, pairs = expr.args
+        return "", f, init, bounds, pairs
+    raise ValueError(
+        "expected an application of 'accumArray' to f, init, bounds, pairs"
+    )
+
+
+def reordering_allowed(comp: ArrayComp, combiner_kind: str) -> bool:
+    """Whether the §8 scheduler may reorder the pair list.
+
+    Ordered combiners forbid reordering only when collisions are
+    possible; a collision-free comprehension behaves like an ordinary
+    monolithic array regardless of the combiner.
+    """
+    if combiner_kind == "commutative":
+        return True
+    return analyze_collisions(comp).status == NONE

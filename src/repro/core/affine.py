@@ -1,0 +1,199 @@
+"""Affine integer expressions over loop-index variables.
+
+Subscript analysis (paper §6) assumes subscripts *linear in the loop
+indices*: ``f x1 ... xd = a0 + sum a_k x_k``.  :class:`Affine`
+represents exactly that — an integer constant plus integer coefficients
+over named variables — and supports the ring operations the front end
+needs to reduce source subscript expressions to this form.
+
+Extraction from surface syntax is in :func:`affine_from_ast`; it raises
+:class:`NonAffineError` for anything non-linear (e.g. ``i*j`` or
+``a!i`` inside a subscript), in which case the compiler falls back to
+pessimistic assumptions, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.lang import ast
+
+
+class NonAffineError(Exception):
+    """A subscript expression is not linear in the loop indices."""
+
+
+class Affine:
+    """``const + sum coeffs[v] * v`` with integer coefficients.
+
+    Immutable; zero coefficients are never stored.
+    """
+
+    __slots__ = ("const", "coeffs")
+
+    def __init__(self, const: int = 0, coeffs: Optional[Mapping[str, int]] = None):
+        self.const = const
+        self.coeffs: Dict[str, int] = {
+            var: coeff for var, coeff in (coeffs or {}).items() if coeff != 0
+        }
+
+    @classmethod
+    def constant(cls, value: int) -> "Affine":
+        """The constant expression ``value``."""
+        return cls(value)
+
+    @classmethod
+    def var(cls, name: str, coeff: int = 1) -> "Affine":
+        """The expression ``coeff * name``."""
+        return cls(0, {name: coeff})
+
+    def is_constant(self) -> bool:
+        """Whether no variable appears."""
+        return not self.coeffs
+
+    def coeff(self, var: str) -> int:
+        """Coefficient of ``var`` (0 if absent)."""
+        return self.coeffs.get(var, 0)
+
+    @property
+    def vars(self):
+        """The set of variables with nonzero coefficient."""
+        return set(self.coeffs)
+
+    # ------------------------------------------------------------------
+    # Ring operations.
+
+    def __add__(self, other) -> "Affine":
+        other = _coerce(other)
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return Affine(self.const + other.const, coeffs)
+
+    def __radd__(self, other) -> "Affine":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self.const, {v: -c for v, c in self.coeffs.items()})
+
+    def __sub__(self, other) -> "Affine":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other) -> "Affine":
+        return _coerce(other) + (-self)
+
+    def scale(self, factor: int) -> "Affine":
+        """Multiply by an integer constant."""
+        return Affine(
+            self.const * factor,
+            {v: c * factor for v, c in self.coeffs.items()},
+        )
+
+    def __mul__(self, other) -> "Affine":
+        other = _coerce(other)
+        if other.is_constant():
+            return self.scale(other.const)
+        if self.is_constant():
+            return other.scale(self.const)
+        raise NonAffineError("product of two non-constant expressions")
+
+    def __rmul__(self, other) -> "Affine":
+        return self.__mul__(other)
+
+    # ------------------------------------------------------------------
+    # Evaluation and substitution.
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate with concrete integer values for every variable."""
+        total = self.const
+        for var, coeff in self.coeffs.items():
+            if var not in env:
+                raise KeyError(f"unbound variable {var!r} in {self!r}")
+            total += coeff * env[var]
+        return total
+
+    def substitute(self, env: Mapping[str, "Affine"]) -> "Affine":
+        """Replace each variable in ``env`` by an affine expression."""
+        result = Affine(self.const)
+        for var, coeff in self.coeffs.items():
+            if var in env:
+                result = result + env[var].scale(coeff)
+            else:
+                result = result + Affine.var(var, coeff)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Affine":
+        """Rename variables (used to separate the two reference instances)."""
+        return Affine(
+            self.const,
+            {mapping.get(v, v): c for v, c in self.coeffs.items()},
+        )
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self.const == other.const and self.coeffs == other.coeffs
+
+    def __hash__(self):
+        return hash((self.const, tuple(sorted(self.coeffs.items()))))
+
+    def __repr__(self):
+        parts = []
+        if self.const or not self.coeffs:
+            parts.append(str(self.const))
+        for var in sorted(self.coeffs):
+            coeff = self.coeffs[var]
+            if coeff == 1:
+                parts.append(f"+{var}")
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff:+d}*{var}")
+        text = "".join(parts).lstrip("+")
+        return f"Affine({text})"
+
+
+def _coerce(value) -> Affine:
+    if isinstance(value, Affine):
+        return value
+    if isinstance(value, int):
+        return Affine(value)
+    raise TypeError(f"cannot coerce {value!r} to Affine")
+
+
+def affine_from_ast(node: ast.Node, params: Optional[Mapping[str, int]] = None) -> Affine:
+    """Reduce a surface expression to affine form.
+
+    ``params`` gives integer values for symbolic size parameters
+    (e.g. ``{"n": 100}``); a variable not in ``params`` is kept as a
+    (presumed loop-index) variable.  Raises :class:`NonAffineError` for
+    non-linear shapes.
+    """
+    params = params or {}
+    if isinstance(node, ast.Lit):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            raise NonAffineError(f"non-integer literal {node.value!r}")
+        return Affine.constant(node.value)
+    if isinstance(node, ast.Var):
+        if node.name in params:
+            return Affine.constant(params[node.name])
+        return Affine.var(node.name)
+    if isinstance(node, ast.UnOp) and node.op == "-":
+        return -affine_from_ast(node.operand, params)
+    if isinstance(node, ast.BinOp):
+        if node.op == "+":
+            return affine_from_ast(node.left, params) + affine_from_ast(
+                node.right, params
+            )
+        if node.op == "-":
+            return affine_from_ast(node.left, params) - affine_from_ast(
+                node.right, params
+            )
+        if node.op == "*":
+            left = affine_from_ast(node.left, params)
+            right = affine_from_ast(node.right, params)
+            return left * right
+        raise NonAffineError(f"operator {node.op!r} in subscript")
+    raise NonAffineError(f"non-affine subscript {type(node).__name__}")

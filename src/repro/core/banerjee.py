@@ -1,0 +1,169 @@
+"""The Banerjee inequality test (paper §6, derived from Theorem 2).
+
+Theorem 2 (*bounded rational solution*): a dependence exists only if
+the dependence equation has a rational solution within the region of
+interest ``R``.  Because the equation is linear and ``R`` is a box (cut
+by the direction constraints), its minimum and maximum over ``R`` are
+reached at vertices; a dependence is possible only if
+``min <= constant <= max``.
+
+Rather than transcribing the paper's closed-form sums term by term
+(the published text contains OCR-mangled sub/superscripts), we compute
+each per-loop term's extrema by **vertex enumeration** of its
+constrained 2-D region — mathematically identical, and exact:
+
+* ``*``  — ``(x, y)`` in ``{1, M} x {1, M}``;
+* ``=``  — ``x = y`` in ``{1, M}``;
+* ``<``  — vertices ``(1, 2), (1, M), (M-1, M)``;
+* ``>``  — vertices ``(2, 1), (M, 1), (M, M-1)``;
+* unshared loops — the one-sided lemma: ``x`` in ``{1, M}``.
+
+Each vertex value is linear in ``M``, kept as ``(slope, intercept)`` so
+unknown trip counts evaluate at ``M -> infinity`` without ``0 * inf``
+accidents.  The closed-form positive/negative-part formulas from the
+paper's Lemma are retained in :func:`paper_unconstrained_bounds` and
+property-tested against the vertex method.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.core.subscripts import DependenceEquation, Term
+
+#: Direction symbols usable in a direction vector.
+DIRECTIONS = ("<", "=", ">", "*")
+
+
+def _eval_linear(slope: int, intercept: int, count: Optional[int]) -> float:
+    """Evaluate ``slope * M + intercept`` at ``M = count`` (or infinity)."""
+    if count is not None:
+        return slope * count + intercept
+    if slope > 0:
+        return math.inf
+    if slope < 0:
+        return -math.inf
+    return intercept
+
+
+def _vertices(term: Term, constraint: str):
+    """Vertex values of the term under ``constraint``, linear in ``M``.
+
+    Each vertex is a ``(slope, intercept)`` pair describing the term's
+    value ``a*x - b*y`` at that vertex as a function of the trip count.
+    Returns ``None`` when the constraint is infeasible for the loop's
+    trip count (e.g. ``<`` needs at least two iterations).
+    """
+    a, b = term.a, term.b
+    count = term.count
+    if count is not None and count < 1:
+        return None
+    if not term.shared:
+        # One-sided: only x (a side) or only y (b side) appears.
+        if a is not None:
+            return [(0, a), (a, 0)]
+        return [(0, -b), (-b, 0)]
+    if constraint == "*":
+        return [(0, a - b), (-b, a), (a, -b), (a - b, 0)]
+    if constraint == "=":
+        return [(0, a - b), (a - b, 0)]
+    if constraint == "<":
+        if count is not None and count < 2:
+            return None
+        return [(0, a - 2 * b), (-b, a), (a - b, -a)]
+    if constraint == ">":
+        if count is not None and count < 2:
+            return None
+        return [(0, 2 * a - b), (a, -b), (a - b, b)]
+    raise ValueError(f"bad direction symbol {constraint!r}")
+
+
+def term_bounds(term: Term, constraint: str) -> Optional[Tuple[float, float]]:
+    """``(min, max)`` of ``a*x - b*y`` under ``constraint``.
+
+    ``None`` means the constraint is infeasible (no iterations satisfy
+    it), so no dependence can exist under this direction.
+    """
+    vertices = _vertices(term, constraint)
+    if vertices is None:
+        return None
+    values = [_eval_linear(s, i, term.count) for s, i in vertices]
+    return min(values), max(values)
+
+
+def equation_bounds(
+    equation: DependenceEquation, direction: Sequence[str]
+) -> Optional[Tuple[float, float]]:
+    """Bounds on ``h = f(x) - g(y)`` over the constrained region.
+
+    ``None`` if the region is empty.  Terms for unshared loops always
+    use their one-sided bounds regardless of ``direction``.
+    """
+    shared = equation.shared_terms
+    if len(direction) != len(shared):
+        raise ValueError(
+            f"direction vector length {len(direction)} != "
+            f"shared depth {len(shared)}"
+        )
+    constraint = {id(t): d for t, d in zip(shared, direction)}
+    low, high = 0.0, 0.0
+    for term in equation.terms:
+        bounds = term_bounds(term, constraint.get(id(term), "*"))
+        if bounds is None:
+            return None
+        low += bounds[0]
+        high += bounds[1]
+    return low, high
+
+
+def banerjee_test(
+    equation: DependenceEquation, direction: Sequence[str] = None
+) -> bool:
+    """Whether a dependence is *possible* per the Banerjee inequality.
+
+    False = dependence **proved impossible** under ``direction``; True =
+    cannot be ruled out.  The test is necessary but not sufficient.
+    With no ``direction``, ``(*,...,*)`` is used.
+    """
+    if direction is None:
+        direction = ("*",) * equation.depth
+    bounds = equation_bounds(equation, direction)
+    if bounds is None:
+        return False
+    low, high = bounds
+    return low <= equation.constant <= high
+
+
+def _pos(t: int) -> int:
+    """The positive part ``t+`` of the paper's definition."""
+    return t if t > 0 else 0
+
+
+def _neg(t: int) -> int:
+    """The negative part ``t-`` of the paper's definition."""
+    return -t if t < 0 else 0
+
+
+def paper_unconstrained_bounds(
+    a: int, b: int, count: Optional[int]
+) -> Tuple[float, float]:
+    """The paper's Lemma for an unconstrained (``Q*``) shared term.
+
+    ``(a - b) - (a- + b+)(M-1) <= a*x - b*y <= (a - b) + (a+ + b-)(M-1)``
+
+    Kept as a literal transcription so tests can check the vertex
+    method against the published formula.
+    """
+    if count is None:
+        p = math.inf
+        low_slope = _neg(a) + _pos(b)
+        high_slope = _pos(a) + _neg(b)
+        low = (a - b) - (low_slope * p if low_slope else 0)
+        high = (a - b) + (high_slope * p if high_slope else 0)
+        return low, high
+    p = count - 1
+    return (
+        (a - b) - (_neg(a) + _pos(b)) * p,
+        (a - b) + (_pos(a) + _neg(b)) * p,
+    )

@@ -1,0 +1,260 @@
+"""Write-collision and empties analysis (paper §4, §7).
+
+*Collisions.*  Ordinary monolithic arrays admit one definition per
+element.  Output-dependence testing between every pair of write
+references (including a clause against itself across instances)
+classifies the comprehension:
+
+* ``NONE`` — subscript analysis proves no two instances write the same
+  element: the compiler elides all runtime collision checks;
+* ``POSSIBLE`` — an inexact test could not rule a collision out: the
+  compiler emits runtime checks and warns the programmer;
+* ``CERTAIN`` — the exact test exhibits two instances writing one
+  element: a compile-time error.
+
+*Empties.*  Every element has a definition (so runtime definedness
+checks can be elided) when all of (§4):
+
+1. there are no write collisions,
+2. no definition writes out of bounds, and
+3. the number of subscript/value pairs equals the array size —
+
+then the written subscripts are a permutation of the index space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.comprehension.loopir import ArrayComp, LoopNest, SVClause
+from repro.core.banerjee import banerjee_test
+from repro.core.direction import refine_directions
+from repro.core.exact import exact_test
+from repro.core.gcd_test import gcd_test
+from repro.core.subscripts import build_equations
+
+NONE = "none"
+POSSIBLE = "possible"
+CERTAIN = "certain"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class CollisionFinding:
+    """One clause pair that may (or must) collide."""
+
+    first: SVClause
+    second: SVClause
+    status: str
+    witness: Optional[dict] = None
+
+    def __repr__(self):
+        return (
+            f"CollisionFinding({self.first.label} / {self.second.label}: "
+            f"{self.status})"
+        )
+
+
+@dataclass
+class CollisionReport:
+    """Result of collision analysis over a whole comprehension."""
+
+    status: str  # NONE / POSSIBLE / CERTAIN
+    findings: List[CollisionFinding] = field(default_factory=list)
+
+    @property
+    def checks_needed(self) -> bool:
+        """Whether runtime collision checks must be compiled."""
+        return self.status != NONE
+
+
+@dataclass
+class EmptiesReport:
+    """Result of empties analysis.
+
+    ``status`` is ``NONE`` (provably no empties — checks elided),
+    ``POSSIBLE`` (cannot prove), or ``CERTAIN`` (counting shows some
+    element must lack a definition).  ``total_pairs`` and ``array_size``
+    are filled when statically countable.
+    """
+
+    status: str
+    reasons: List[str] = field(default_factory=list)
+    total_pairs: Optional[int] = None
+    array_size: Optional[int] = None
+
+    @property
+    def checks_needed(self) -> bool:
+        return self.status != NONE
+
+
+def _pair_status(first: SVClause, second: SVClause, array: str) -> CollisionFinding:
+    first_ref = first.write_reference(array)
+    second_ref = second.write_reference(array)
+    if first_ref is None or second_ref is None:
+        return CollisionFinding(first, second, POSSIBLE)
+    equations = build_equations(first_ref, second_ref)
+    depth = equations[0].depth if equations else 0
+    unconstrained = ("*",) * depth
+    screens = all(
+        gcd_test(eq, unconstrained) and banerjee_test(eq, unconstrained)
+        for eq in equations
+    )
+    if not screens:
+        return CollisionFinding(first, second, NONE)
+    if first is second:
+        # Same clause: a collision needs two *different* instances.
+        directions = refine_directions(equations)
+        directions = {
+            dv for dv in directions if any(s != "=" for s in dv)
+        }
+        if not directions:
+            return CollisionFinding(first, second, NONE)
+        counts_known = all(
+            term.count is not None
+            for eq in equations for term in eq.terms
+        )
+        if counts_known:
+            for dv in sorted(directions):
+                witness = exact_test(equations, dv)
+                if witness is not None:
+                    return CollisionFinding(first, second, CERTAIN, witness)
+            return CollisionFinding(first, second, NONE)
+        return CollisionFinding(first, second, POSSIBLE)
+    counts_known = all(
+        term.count is not None for eq in equations for term in eq.terms
+    )
+    if counts_known:
+        witness = exact_test(equations)
+        if witness is None:
+            return CollisionFinding(first, second, NONE)
+        return CollisionFinding(first, second, CERTAIN, witness)
+    return CollisionFinding(first, second, POSSIBLE)
+
+
+def analyze_collisions(comp: ArrayComp) -> CollisionReport:
+    """Classify the comprehension's write-collision behavior (§7).
+
+    Clauses with guards are treated conservatively: a CERTAIN witness
+    degrades to POSSIBLE, since the guard may exclude it at runtime.
+    """
+    findings: List[CollisionFinding] = []
+    clauses = comp.clauses
+    array = comp.name or ""
+    for position, first in enumerate(clauses):
+        for second in clauses[position:]:
+            finding = _pair_status(first, second, array)
+            if finding.status == CERTAIN and (first.guards or second.guards):
+                finding.status = POSSIBLE
+                finding.witness = None
+            if finding.status != NONE:
+                findings.append(finding)
+    if any(f.status == CERTAIN for f in findings):
+        status = CERTAIN
+    elif findings:
+        status = POSSIBLE
+    else:
+        status = NONE
+    return CollisionReport(status, findings)
+
+
+def _clause_pair_count(clause: SVClause) -> Optional[int]:
+    """Number of instances of a clause, if statically known."""
+    if clause.guards:
+        return None
+    total = 1
+    for loop in clause.loops:
+        if loop.info.count is None:
+            return None
+        total *= loop.info.count
+    return total
+
+
+def _in_bounds(clause: SVClause, comp: ArrayComp) -> Optional[bool]:
+    """Whether every instance writes in bounds (None = unknown)."""
+    if clause.subscripts is None or comp.bounds is None:
+        return None
+    dims = comp.bounds.dims
+    if len(dims) != len(clause.subscripts):
+        return False
+    for (low, high), affine in zip(dims, clause.subscripts):
+        lo = hi = affine.const
+        for var, coeff in affine.coeffs.items():
+            loop = next(
+                (l for l in clause.loops if l.info.var == var), None
+            )
+            if loop is None or loop.info.count is None:
+                return None
+            # Normalized index ranges over 1..M.
+            lo += min(coeff * 1, coeff * loop.info.count)
+            hi += max(coeff * 1, coeff * loop.info.count)
+        if lo < low or hi > high:
+            return False
+    return True
+
+
+def analyze_empties(
+    comp: ArrayComp, collision_report: Optional[CollisionReport] = None
+) -> EmptiesReport:
+    """Prove (or fail to prove) that no element is an empty (§4)."""
+    report = collision_report or analyze_collisions(comp)
+    reasons: List[str] = []
+    if report.status == CERTAIN:
+        reasons.append("write collisions are certain")
+    elif report.status == POSSIBLE:
+        reasons.append("write collisions cannot be ruled out")
+
+    total: Optional[int] = 0
+    for clause in comp.clauses:
+        count = _clause_pair_count(clause)
+        if count is None:
+            total = None
+            reasons.append(
+                f"{clause.label}: instance count not statically known"
+            )
+            break
+        total += count
+
+    size = comp.bounds.size() if comp.bounds is not None else None
+    if size is None:
+        reasons.append("array bounds not statically known")
+
+    bounds_ok = True
+    for clause in comp.clauses:
+        verdict = _in_bounds(clause, comp)
+        if verdict is False:
+            return EmptiesReport(
+                CERTAIN if total is not None and size is not None
+                and total <= size else POSSIBLE,
+                reasons + [f"{clause.label}: writes out of bounds"],
+                total, size,
+            )
+        if verdict is None:
+            bounds_ok = False
+            reasons.append(
+                f"{clause.label}: bounds of writes not statically known"
+            )
+
+    if (
+        report.status == NONE
+        and bounds_ok
+        and total is not None
+        and size is not None
+    ):
+        if total == size:
+            return EmptiesReport(NONE, [], total, size)
+        if total < size:
+            return EmptiesReport(
+                CERTAIN,
+                [f"{total} pairs cannot fill {size} elements"],
+                total, size,
+            )
+        # More collision-free in-bounds pairs than elements would be a
+        # pigeonhole contradiction; trust the runtime check to decide.
+        return EmptiesReport(
+            POSSIBLE,
+            [f"{total} pairs for {size} elements"],
+            total, size,
+        )
+    return EmptiesReport(POSSIBLE, reasons, total, size)

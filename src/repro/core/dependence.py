@@ -1,0 +1,210 @@
+"""Dependence edges between s/v clauses (paper §5, §7, §9).
+
+Three kinds of edges, mirroring the imperative taxonomy the paper
+transfers to functional arrays:
+
+* **flow** (true) — clause W writes ``a!f``, clause R reads ``a!g`` of
+  the *same* (recursively defined) array: W's element value must exist
+  before R's is computed.  Source = W, sink = R.
+* **output** — two writes hit the same element: a *write collision*,
+  an error for ordinary monolithic arrays (§7).
+* **anti** — clause R reads ``old!g`` where ``old`` is a dead array
+  whose storage the new array reuses (``bigupd`` / in-place update,
+  §9), and clause W writes ``a!f`` into that storage: the read must
+  happen before the overwrite.  Source = R, sink = W.  Anti edges are
+  *breakable* by node-splitting.
+
+Every edge carries a direction vector over the shared loops of its two
+clauses: ``<`` means the source instance is "earlier" than the sink
+instance.  ``*`` appears only for pessimistic edges, when a subscript
+was not affine and nothing could be proved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.comprehension.loopir import ArrayComp, SVClause
+from repro.core.direction import DirVec, refine_directions, reverse
+from repro.core.subscripts import Reference, build_equations, shared_loops
+
+FLOW = "flow"
+ANTI = "anti"
+OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A labeled dependence edge between two clauses.
+
+    ``direction`` relates *source* instances to *sink* instances over
+    the clauses' shared loops (outermost first): the source must be
+    computed before the sink.
+    """
+
+    src: SVClause = field(compare=False)
+    dst: SVClause = field(compare=False)
+    direction: DirVec = ()
+    kind: str = FLOW
+
+    @property
+    def breakable(self) -> bool:
+        """Whether node-splitting can break a cycle through this edge."""
+        return self.kind == ANTI
+
+    @property
+    def level(self) -> int:
+        """Index of the first non-'=' direction component.
+
+        Equals ``len(direction)`` for loop-independent edges.  This is
+        the loop level at which the edge is *carried* (paper §8.2.2's
+        "loop-carried at level k").
+        """
+        for index, symbol in enumerate(self.direction):
+            if symbol != "=":
+                return index
+        return len(self.direction)
+
+    def __repr__(self):
+        arrow = {FLOW: "->", ANTI: "-a->", OUTPUT: "-o->"}[self.kind]
+        dv = ",".join(self.direction) if self.direction else ""
+        return (
+            f"{self.src.index + 1} {arrow} {self.dst.index + 1} ({dv})"
+        )
+
+
+def _directions_between(
+    first: Reference, second: Reference, verify_exact: bool
+) -> set:
+    equations = build_equations(first, second)
+    return refine_directions(equations, verify_exact=verify_exact)
+
+
+def _pessimistic_vector(first: SVClause, second: SVClause) -> DirVec:
+    depth = 0
+    for mine, theirs in zip(first.loops, second.loops):
+        if mine is not theirs:
+            break
+        depth += 1
+    return ("*",) * depth
+
+
+def flow_edges(
+    comp: ArrayComp,
+    array: Optional[str] = None,
+    verify_exact: bool = True,
+) -> List[DepEdge]:
+    """True-dependence edges of a recursively defined array.
+
+    For every write clause W and every clause R reading ``array``
+    (default: the array being defined), emits one edge per possible
+    direction vector from the refinement search.  Pessimistic ``*``
+    edges appear when subscripts are not affine.
+    """
+    array = array if array is not None else comp.name
+    edges: List[DepEdge] = []
+    for writer in comp.clauses:
+        write_ref = writer.write_reference(array)
+        for reader in comp.clauses:
+            touched = (
+                reader.has_opaque_reads(array)
+                or reader.read_references(array)
+            )
+            if not touched:
+                continue
+            if write_ref is None or reader.has_opaque_reads(array):
+                edges.append(
+                    DepEdge(writer, reader,
+                            _pessimistic_vector(writer, reader), FLOW)
+                )
+                if write_ref is not None:
+                    continue
+            if write_ref is None:
+                continue
+            seen = set()
+            for read_ref in reader.read_references(array):
+                for dv in _directions_between(write_ref, read_ref,
+                                              verify_exact):
+                    if dv not in seen:
+                        seen.add(dv)
+                        edges.append(DepEdge(writer, reader, dv, FLOW))
+    return edges
+
+
+def anti_edges(
+    comp: ArrayComp,
+    old_array: str,
+    verify_exact: bool = True,
+) -> List[DepEdge]:
+    """Anti-dependence edges for in-place reuse of ``old_array``.
+
+    The new array's writes will overwrite ``old_array``'s cells (same
+    storage, same index space); every read of ``old_array`` must run
+    before the write that kills its cell.  Source = reading clause,
+    sink = writing clause.  A same-clause loop-independent (all ``=``)
+    anti edge is dropped: a clause always computes its value before
+    storing it.
+    """
+    edges: List[DepEdge] = []
+    for reader in comp.clauses:
+        reads = reader.read_references(old_array)
+        opaque = reader.has_opaque_reads(old_array)
+        if not reads and not opaque:
+            continue
+        for writer in comp.clauses:
+            write_ref = writer.write_reference(old_array)
+            if opaque or write_ref is None:
+                dv = _pessimistic_vector(reader, writer)
+                if not (writer is reader and all(s == "=" for s in dv)):
+                    edges.append(DepEdge(reader, writer, dv, ANTI))
+                if write_ref is None:
+                    continue
+                if opaque:
+                    continue
+            seen = set()
+            for read_ref in reads:
+                # First reference = read (source x), second = write
+                # (sink y): '<' then means read earlier than write.
+                for dv in _directions_between(read_ref, write_ref,
+                                              verify_exact):
+                    if writer is reader and all(s == "=" for s in dv):
+                        continue
+                    if dv not in seen:
+                        seen.add(dv)
+                        edges.append(DepEdge(reader, writer, dv, ANTI))
+    return edges
+
+
+def output_edges(
+    comp: ArrayComp,
+    verify_exact: bool = True,
+) -> List[DepEdge]:
+    """Output-dependence (write-collision) edges (paper §7).
+
+    Between distinct clauses every direction counts; for a clause with
+    itself the all-``=`` vector (the very same instance) is excluded.
+    To avoid reporting each collision twice, ordered pairs are emitted
+    once with the direction seen from the lower-numbered clause.
+    """
+    edges: List[DepEdge] = []
+    clauses = comp.clauses
+    for position, first in enumerate(clauses):
+        first_ref = first.write_reference(comp.name or "")
+        for second in clauses[position:]:
+            second_ref = second.write_reference(comp.name or "")
+            if first_ref is None or second_ref is None:
+                dv = _pessimistic_vector(first, second)
+                edges.append(DepEdge(first, second, dv, OUTPUT))
+                continue
+            for dv in _directions_between(first_ref, second_ref,
+                                          verify_exact):
+                if second is first:
+                    if all(s == "=" for s in dv):
+                        continue
+                    # Self-collisions come in mirror pairs; keep the
+                    # lexicographically 'forward' one.
+                    if dv > reverse(dv):
+                        continue
+                edges.append(DepEdge(first, second, dv, OUTPUT))
+    return edges

@@ -1,0 +1,122 @@
+"""Direction vectors and search-tree refinement (paper §6).
+
+A *direction vector* labels a dependence edge with the relation between
+the source and sink instances of each shared loop, outermost first:
+``(=, <)`` means "same outer iteration, source at an earlier inner
+iteration".
+
+A single Banerjee test under constraints costs O(n), but fully
+determining the direction vector can need O(c^n) tests.  Following the
+paper (citing Burke & Cytron), :func:`refine_directions` explores the
+constraint tree rooted at ``(*,...,*)``: each node refines the first
+remaining ``*`` into ``<``, ``=``, ``>``; subtrees whose GCD or
+Banerjee test already proves independence are pruned, so in the common
+case the full set of possible direction vectors is found in O(n) or
+O(1) tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.banerjee import banerjee_test
+from repro.core.exact import exact_test
+from repro.core.gcd_test import gcd_test
+from repro.core.subscripts import DependenceEquation
+
+#: A complete direction vector: a tuple over shared loops of '<','=','>'.
+DirVec = Tuple[str, ...]
+
+
+def possible(
+    equations: Sequence[DependenceEquation], direction: Sequence[str]
+) -> bool:
+    """Whether dependence is possible under ``direction``.
+
+    ANDs the GCD and Banerjee screens over every dimension (paper §6:
+    multidimensional subscripts are tested per dimension and the
+    results conjoined).
+    """
+    return all(
+        gcd_test(eq, direction) and banerjee_test(eq, direction)
+        for eq in equations
+    )
+
+
+def refine_directions(
+    equations: Sequence[DependenceEquation],
+    verify_exact: bool = False,
+    tester: Optional[Callable[[Sequence[str]], bool]] = None,
+    counter: Optional[List[int]] = None,
+) -> Set[DirVec]:
+    """All direction vectors under which a dependence may exist.
+
+    Runs the search-tree refinement.  With ``verify_exact=True`` each
+    surviving leaf is additionally checked with the exact test (when
+    trip counts are known), discarding leaves with no genuine integer
+    solution.  ``tester`` overrides the per-node screen (for tests and
+    cost experiments); ``counter``, if given, is a one-element list
+    whose cell is incremented per screen invocation.
+
+    An empty result means **no dependence at all**.
+    """
+    if not equations:
+        return set()
+    depth = equations[0].depth
+
+    def screen(direction: Sequence[str]) -> bool:
+        if counter is not None:
+            counter[0] += 1
+        if tester is not None:
+            return tester(direction)
+        return possible(equations, direction)
+
+    results: Set[DirVec] = set()
+
+    def expand(prefix: Tuple[str, ...]):
+        direction = prefix + ("*",) * (depth - len(prefix))
+        if not screen(direction):
+            return
+        if len(prefix) == depth:
+            if verify_exact and _counts_known(equations):
+                if exact_test(equations, prefix) is None:
+                    return
+            results.add(prefix)
+            return
+        for symbol in ("<", "=", ">"):
+            expand(prefix + (symbol,))
+
+    expand(())
+    return results
+
+
+def _counts_known(equations: Sequence[DependenceEquation]) -> bool:
+    return all(
+        term.count is not None
+        for eq in equations
+        for term in eq.terms
+    )
+
+
+def dependence_exists(equations: Sequence[DependenceEquation]) -> bool:
+    """Whether any dependence is possible (unconstrained screen)."""
+    if not equations:
+        return False
+    return possible(equations, ("*",) * equations[0].depth)
+
+
+def reverse(direction: Iterable[str]) -> DirVec:
+    """Flip a direction vector (swap the roles of source and sink)."""
+    flip = {"<": ">", ">": "<", "=": "=", "*": "*"}
+    return tuple(flip[d] for d in direction)
+
+
+def lexicographic_class(direction: Sequence[str]) -> str:
+    """Classify a vector: ``'forward'`` (first non-= is <), ``'backward'``
+    (first non-= is >), or ``'independent'`` (all =)."""
+    for symbol in direction:
+        if symbol == "<":
+            return "forward"
+        if symbol == ">":
+            return "backward"
+    return "independent"

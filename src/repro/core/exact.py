@@ -1,0 +1,177 @@
+"""The exact bounded-integer-solution test (paper §6).
+
+The *definition* of dependence: integer loop-index values within the
+region of interest making every dimension's dependence equation zero.
+This module decides it exactly by backtracking search with
+interval pruning — worst-case exponential in the loop depth, exactly
+the ``O(c^n)`` the paper quotes, which is why the compiler prefers the
+GCD and Banerjee screens and only falls back to this when they are
+inconclusive and a precise answer matters (e.g. distinguishing
+"collision certain" from "collision possible", §7).
+
+All trip counts must be known; unknown counts raise ``ValueError``
+(callers treat that as MAYBE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.subscripts import DependenceEquation
+
+
+class _Var:
+    """One search variable: an instance index of some loop."""
+
+    __slots__ = ("name", "low", "high", "pair", "relation")
+
+    def __init__(self, name, low, high, pair=None, relation=None):
+        self.name = name
+        self.low = low
+        self.high = high
+        self.pair = pair          # index of the partner variable (x for y)
+        self.relation = relation  # '<', '=', '>' constraint vs the partner
+
+
+def exact_test(
+    equations: Sequence[DependenceEquation],
+    direction: Sequence[str] = None,
+) -> Optional[Dict[str, int]]:
+    """Search for a witness satisfying every equation under ``direction``.
+
+    Returns a dict mapping ``"x:<loopvar>"`` / ``"y:<loopvar>"`` (and
+    ``"u:<loopvar>"`` for unshared loops) to witness values, or ``None``
+    if no bounded integer solution exists.  Unlike the per-dimension
+    GCD/Banerjee screens this solves all dimensions *jointly*, so it is
+    strictly stronger.
+    """
+    if not equations:
+        return {}
+    depth = equations[0].depth
+    if direction is None:
+        direction = ("*",) * depth
+    if len(direction) != depth:
+        raise ValueError("direction vector length mismatch")
+
+    # Build the variable list: for each shared loop an (x, y) pair with
+    # the direction constraint; for unshared loops a single variable.
+    variables = []
+    coefficients = []  # per equation: dict var_index -> coefficient
+    for _ in equations:
+        coefficients.append({})
+
+    def add_var(var: _Var, coeffs_per_eq):
+        index = len(variables)
+        variables.append(var)
+        for eq_index, coeff in coeffs_per_eq:
+            if coeff:
+                coefficients[eq_index][index] = coeff
+        return index
+
+    reference = equations[0]
+    for position, term in enumerate(reference.shared_terms):
+        if term.count is None:
+            raise ValueError(
+                f"exact test requires known trip counts (loop {term.loop.var})"
+            )
+        symbol = direction[position]
+        if term.count < 1 or (symbol in "<>" and term.count < 2):
+            return None
+        x_coeffs = []
+        y_coeffs = []
+        for eq_index, eq in enumerate(equations):
+            shared = eq.shared_terms[position]
+            x_coeffs.append((eq_index, shared.a))
+            y_coeffs.append((eq_index, -shared.b))
+        x_index = add_var(
+            _Var(f"x:{term.loop.var}", 1, term.count), x_coeffs
+        )
+        relation = None if symbol == "*" else symbol
+        add_var(
+            _Var(f"y:{term.loop.var}", 1, term.count,
+                 pair=x_index, relation=relation),
+            y_coeffs,
+        )
+    # Unshared terms: independent per loop; signs baked in.
+    for term in reference.terms:
+        if term.shared:
+            continue
+        if term.count is None:
+            raise ValueError(
+                f"exact test requires known trip counts (loop {term.loop.var})"
+            )
+        if term.count < 1:
+            return None
+        coeffs = []
+        for eq_index, eq in enumerate(equations):
+            match = next(
+                t for t in eq.terms
+                if not t.shared and t.loop is term.loop
+            )
+            coeff = match.a if match.a is not None else -match.b
+            coeffs.append((eq_index, coeff))
+        add_var(_Var(f"u:{term.loop.var}", 1, term.count), coeffs)
+
+    targets = [eq.constant for eq in equations]
+
+    # Precompute, for each equation, suffix min/max contributions of the
+    # not-yet-assigned variables (ignoring pair constraints — a sound
+    # relaxation for pruning).
+    count = len(variables)
+    suffix_low = [[0] * (count + 1) for _ in equations]
+    suffix_high = [[0] * (count + 1) for _ in equations]
+    for eq_index in range(len(equations)):
+        for var_index in range(count - 1, -1, -1):
+            coeff = coefficients[eq_index].get(var_index, 0)
+            var = variables[var_index]
+            lo = min(coeff * var.low, coeff * var.high)
+            hi = max(coeff * var.low, coeff * var.high)
+            suffix_low[eq_index][var_index] = (
+                suffix_low[eq_index][var_index + 1] + lo
+            )
+            suffix_high[eq_index][var_index] = (
+                suffix_high[eq_index][var_index + 1] + hi
+            )
+
+    assignment = [0] * count
+
+    def domain(var_index: int):
+        var = variables[var_index]
+        low, high = var.low, var.high
+        if var.pair is not None and var.relation:
+            partner = assignment[var.pair]
+            if var.relation == "=":
+                low = high = partner
+                if partner < var.low or partner > var.high:
+                    return range(0)
+            elif var.relation == "<":
+                # x < y: partner is x, this is y.
+                low = max(low, partner + 1)
+            elif var.relation == ">":
+                high = min(high, partner - 1)
+        return range(low, high + 1)
+
+    def search(var_index: int, partial: Tuple[int, ...]) -> bool:
+        if var_index == count:
+            return all(p == t for p, t in zip(partial, targets))
+        for eq_index, eq_partial in enumerate(partial):
+            remaining_low = suffix_low[eq_index][var_index]
+            remaining_high = suffix_high[eq_index][var_index]
+            needed = targets[eq_index] - eq_partial
+            if not (remaining_low <= needed <= remaining_high):
+                return False
+        for value in domain(var_index):
+            assignment[var_index] = value
+            updated = tuple(
+                eq_partial + coefficients[eq_index].get(var_index, 0) * value
+                for eq_index, eq_partial in enumerate(partial)
+            )
+            if search(var_index + 1, updated):
+                return True
+        return False
+
+    if not search(0, tuple(0 for _ in equations)):
+        return None
+    return {
+        variables[i].name: assignment[i] for i in range(count)
+    }

@@ -1,0 +1,63 @@
+"""The GCD test (paper §6, derived from Theorem 1).
+
+Theorem 1 (*any integer solution*): a dependence exists only if the
+dependence equation has an integer solution, ignoring loop bounds.  The
+linear diophantine equation ``sum c_i v_i = constant`` has an integer
+solution iff ``gcd(c_i) | constant``.
+
+With a direction-vector constraint, loops in ``Q=`` force ``x_k = y_k``
+so their paired term collapses to ``(a_k - b_k) x_k``; loops in ``Q<``,
+``Q>``, ``Q*`` keep ``x_k`` and ``y_k`` independent, contributing both
+``a_k`` and ``b_k`` (the ``<``/``>`` constraints do not restrict
+*integer solvability*, only bounds, so the GCD test ignores them —
+exactly the paper's formula).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Sequence
+
+from repro.core.subscripts import DependenceEquation
+
+
+def equation_gcd(equation: DependenceEquation, direction: Sequence[str]) -> int:
+    """GCD of the equation's coefficient set under ``direction``.
+
+    ``direction`` is a vector over the shared loops (outermost first)
+    drawn from ``'<' '=' '>' '*'``.  Returns 0 when every coefficient
+    vanishes.
+    """
+    shared = equation.shared_terms
+    if len(direction) != len(shared):
+        raise ValueError(
+            f"direction vector length {len(direction)} != "
+            f"shared depth {len(shared)}"
+        )
+    constraint = {id(t): d for t, d in zip(shared, direction)}
+    g = 0
+    for term in equation.terms:
+        if term.shared and constraint[id(term)] == "=":
+            g = gcd(g, abs(term.a - term.b))
+        else:
+            if term.a is not None:
+                g = gcd(g, abs(term.a))
+            if term.b is not None:
+                g = gcd(g, abs(term.b))
+    return g
+
+
+def gcd_test(equation: DependenceEquation, direction: Sequence[str] = None) -> bool:
+    """Whether a dependence is *possible* according to the GCD test.
+
+    Returns False only when dependence is **proved impossible**; True
+    means "cannot rule it out" (the test is necessary, not sufficient).
+    With no ``direction``, the unconstrained vector ``(*,...,*)`` is
+    used.
+    """
+    if direction is None:
+        direction = ("*",) * equation.depth
+    g = equation_gcd(equation, direction)
+    if g == 0:
+        return equation.constant == 0
+    return equation.constant % g == 0

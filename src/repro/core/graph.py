@@ -1,0 +1,150 @@
+"""Small directed-graph utilities for dependence scheduling.
+
+Vertices are arbitrary hashable tokens (the scheduler uses entity
+indices).  Provides Tarjan SCCs, topological sort, cycle detection,
+and quotient (condensation) graphs — the operations §8 of the paper
+relies on, each within its stated ``O(max(|V|,|E|))`` bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+
+class Digraph:
+    """A directed multigraph with labeled edges."""
+
+    def __init__(self, vertices: Iterable[Hashable] = ()):
+        self.succ: Dict[Hashable, List[Tuple[Hashable, object]]] = {}
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_vertex(self, vertex: Hashable) -> None:
+        self.succ.setdefault(vertex, [])
+
+    def add_edge(self, src: Hashable, dst: Hashable, label=None) -> None:
+        self.add_vertex(src)
+        self.add_vertex(dst)
+        self.succ[src].append((dst, label))
+
+    @property
+    def vertices(self) -> List[Hashable]:
+        return list(self.succ)
+
+    def edges(self) -> Iterable[Tuple[Hashable, Hashable, object]]:
+        for src, outs in self.succ.items():
+            for dst, label in outs:
+                yield src, dst, label
+
+    def __len__(self):
+        return len(self.succ)
+
+    # ------------------------------------------------------------------
+
+    def sccs(self) -> List[List[Hashable]]:
+        """Strongly connected components (Tarjan), in reverse
+        topological order of the condensation (iterative, so deep
+        graphs do not hit the recursion limit)."""
+        index_of: Dict[Hashable, int] = {}
+        low: Dict[Hashable, int] = {}
+        on_stack: Set[Hashable] = set()
+        stack: List[Hashable] = []
+        result: List[List[Hashable]] = []
+        counter = [0]
+
+        for root in self.succ:
+            if root in index_of:
+                continue
+            work = [(root, iter(self.succ[root]))]
+            index_of[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                vertex, successors = work[-1]
+                advanced = False
+                for dst, _ in successors:
+                    if dst not in index_of:
+                        index_of[dst] = low[dst] = counter[0]
+                        counter[0] += 1
+                        stack.append(dst)
+                        on_stack.add(dst)
+                        work.append((dst, iter(self.succ[dst])))
+                        advanced = True
+                        break
+                    if dst in on_stack:
+                        low[vertex] = min(low[vertex], index_of[dst])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[vertex])
+                if low[vertex] == index_of[vertex]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == vertex:
+                            break
+                    result.append(component)
+        return result
+
+    def topological_order(self) -> List[Hashable]:
+        """Kahn topological order; raises ``ValueError`` on a cycle."""
+        indegree = {vertex: 0 for vertex in self.succ}
+        for _, dst, _ in self.edges():
+            indegree[dst] += 1
+        # Deterministic: preserve insertion order among ready vertices.
+        ready = [v for v in self.succ if indegree[v] == 0]
+        order = []
+        cursor = 0
+        while cursor < len(ready):
+            vertex = ready[cursor]
+            cursor += 1
+            order.append(vertex)
+            for dst, _ in self.succ[vertex]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+        if len(order) != len(self.succ):
+            raise ValueError("graph has a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except ValueError:
+            return False
+
+    def quotient(self) -> Tuple["Digraph", Dict[Hashable, int]]:
+        """Condensation: one vertex per SCC, inter-SCC edges kept.
+
+        Returns ``(quotient_graph, member -> scc_id)``.  Edge labels
+        are preserved; intra-SCC edges are dropped.  The quotient is
+        always a DAG.
+        """
+        components = self.sccs()
+        scc_id: Dict[Hashable, int] = {}
+        for number, component in enumerate(components):
+            for member in component:
+                scc_id[member] = number
+        quotient = Digraph(range(len(components)))
+        for src, dst, label in self.edges():
+            if scc_id[src] != scc_id[dst]:
+                quotient.add_edge(scc_id[src], scc_id[dst], label)
+        return quotient, scc_id
+
+    def reachable_from(self, sources: Sequence[Hashable]) -> Set[Hashable]:
+        """All vertices reachable from ``sources`` (inclusive)."""
+        seen = set(sources)
+        frontier = list(sources)
+        while frontier:
+            vertex = frontier.pop()
+            for dst, _ in self.succ[vertex]:
+                if dst not in seen:
+                    seen.add(dst)
+                    frontier.append(dst)
+        return seen

@@ -1,0 +1,447 @@
+"""The end-to-end compiler driver.
+
+``compile_array(src, params)`` runs the full pipeline of the paper:
+
+1. parse the ``letrec``/``letrec*`` array definition;
+2. build the normalized loop IR (§6 normalization);
+3. collision and empties analysis (§4, §7) — decides which runtime
+   checks survive;
+4. flow-dependence analysis (§5, §6) and static scheduling (§8);
+5. code generation: thunkless loops when the schedule is safe, the
+   thunked fallback otherwise.
+
+``compile_array_inplace(src, old_array, params)`` adds the §9 path:
+anti edges against the dead input array, node-splitting planning, and
+in-place code generation.
+
+Both return a :class:`~repro.codegen.compile.CompiledComp` whose
+``report`` records every decision (dependence edges, schedule, checks,
+fallbacks, vectorizable loops) — the compile-time side of each
+experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codegen.compile import CompiledComp
+from repro.codegen.emit import (
+    CodegenOptions,
+    emit_inplace,
+    emit_thunked,
+    emit_thunkless,
+)
+from repro.comprehension.build import (
+    BuildError,
+    build_array_comp,
+    find_array_comp,
+)
+from repro.comprehension.loopir import ArrayComp, LoopNest
+from repro.core.collisions import (
+    CERTAIN,
+    CollisionReport,
+    EmptiesReport,
+    analyze_collisions,
+    analyze_empties,
+)
+from repro.core.dependence import DepEdge, anti_edges, flow_edges
+from repro.core.inplace import InPlacePlan, plan_inplace
+from repro.core.schedule import Schedule, schedule_comp
+from repro.lang import ast
+from repro.lang.parser import parse_expr
+
+
+class CompileError(Exception):
+    """The definition cannot be compiled at all (static error)."""
+
+
+@dataclass
+class Report:
+    """Everything the compiler decided about one array definition."""
+
+    comp: ArrayComp = None
+    collision: CollisionReport = None
+    empties: EmptiesReport = None
+    edges: List[DepEdge] = field(default_factory=list)
+    schedule: Schedule = None
+    strategy: str = ""  # 'thunkless' | 'thunked' | 'inplace' | 'inplace-copy'
+    checks: CodegenOptions = None
+    inplace_plan: Optional[InPlacePlan] = None
+    vectorizable: List[str] = field(default_factory=list)
+    parallelism: List = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """A short human-readable account of the compilation."""
+        lines = [f"strategy: {self.strategy or 'analysis only'}"]
+        lines.append(f"collisions: {self.collision.status}")
+        lines.append(f"empties: {self.empties.status}")
+        if self.checks is not None:
+            lines.append(
+                "checks compiled: "
+                f"bounds={self.checks.bounds_checks}, "
+                f"collision={self.checks.collision_checks}, "
+                f"empties={self.checks.empties_check}"
+            )
+        for edge in self.edges:
+            lines.append(f"edge: {edge}")
+        if self.schedule is not None:
+            for var, dirs in self.schedule.loop_directions().items():
+                lines.append(f"loop {var}: {', '.join(dirs)}")
+        if self.vectorizable:
+            lines.append(
+                "vectorizable inner loops: " + ", ".join(self.vectorizable)
+            )
+        for profile in self.parallelism:
+            if profile.hyperplane is not None:
+                lines.append(
+                    f"{profile.clause.label}: wavefront h="
+                    f"{profile.hyperplane}, critical path "
+                    f"{profile.steps} of {profile.work} "
+                    f"(speedup bound {profile.speedup_bound:.1f})"
+                )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _parse(src) -> ast.Node:
+    return parse_expr(src) if isinstance(src, str) else src
+
+
+def _vectorizable_loops(comp: ArrayComp, edges: List[DepEdge]) -> List[str]:
+    """Innermost loops with no loop-carried dependence (paper §10)."""
+    out = []
+    for loop in comp.iter_loops():
+        if any(isinstance(c, LoopNest) for c in loop.children):
+            continue  # not innermost
+        carried = False
+        for edge in edges:
+            for clause in (edge.src, edge.dst):
+                if loop not in clause.loops:
+                    continue
+                level = clause.loops.index(loop)
+                if (
+                    loop in edge.src.loops
+                    and loop in edge.dst.loops
+                    and len(edge.direction) > level
+                    and edge.direction[level] in ("<", ">", "*")
+                ):
+                    carried = True
+        if not carried:
+            out.append(loop.var)
+    return out
+
+
+def analyze(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    verify_exact: bool = True,
+) -> Report:
+    """Run analysis and scheduling without generating code."""
+    expr = _parse(src)
+    name, bounds_ast, pairs_ast = find_array_comp(expr)
+    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    collision = analyze_collisions(comp)
+    empties = analyze_empties(comp, collision)
+    edges = flow_edges(comp, verify_exact=verify_exact)
+    schedule = schedule_comp(comp, edges)
+    from repro.core.parallel import analyze_parallelism
+
+    report = Report(
+        comp=comp,
+        collision=collision,
+        empties=empties,
+        edges=edges,
+        schedule=schedule,
+        vectorizable=_vectorizable_loops(comp, edges),
+        parallelism=analyze_parallelism(comp, edges),
+    )
+    return report
+
+
+def compile_array(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+    force_strategy: Optional[str] = None,
+) -> CompiledComp:
+    """Compile a ``letrec*`` array definition end to end.
+
+    ``force_strategy`` overrides the pipeline's choice (``"thunked"``
+    or ``"thunkless"``) for benchmarking; forcing ``"thunkless"`` on an
+    unsafely scheduled array raises :class:`CompileError`.
+    """
+    report = analyze(src, params)
+    if options is not None and options.vectorize:
+        # §8.2/§10 extension: interchange perfect nests whose inner
+        # loop carries a dependence but whose outer loop does not, so
+        # the vectorizer finds a dependence-free innermost loop.
+        # Monolithic semantics make any loop permutation meaning-
+        # preserving; only the analysis must be redone.
+        from repro.core.interchange import interchange, plan_interchanges
+        from repro.core.schedule import schedule_comp as _schedule
+
+        proposals = plan_interchanges(report.comp, report.edges)
+        if proposals:
+            for outer in proposals:
+                interchange(report.comp, outer)
+            report.edges = flow_edges(report.comp)
+            report.schedule = _schedule(report.comp, report.edges)
+            report.vectorizable = _vectorizable_loops(
+                report.comp, report.edges
+            )
+            report.notes.append(
+                "interchanged "
+                + ", ".join(f"loops around {p.var}" for p in proposals)
+                + " to expose a vectorizable innermost loop"
+            )
+    if report.collision.status == CERTAIN:
+        witnesses = [
+            f for f in report.collision.findings if f.status == CERTAIN
+        ]
+        raise CompileError(
+            "write collision is certain: "
+            + "; ".join(str(f) for f in witnesses)
+        )
+
+    if options is None:
+        options = CodegenOptions(
+            bounds_checks=False,
+            collision_checks=report.collision.checks_needed,
+            empties_check=report.empties.checks_needed,
+        )
+        if report.collision.checks_needed:
+            report.notes.append(
+                "runtime collision checks compiled (analysis inconclusive)"
+            )
+        if report.empties.checks_needed:
+            report.notes.append(
+                "runtime empties check compiled (analysis inconclusive)"
+            )
+    report.checks = options
+
+    strategy = force_strategy
+    if strategy is None:
+        strategy = "thunkless" if report.schedule.ok else "thunked"
+        for failure in report.schedule.failures:
+            report.notes.append(f"thunk fallback: {failure}")
+    elif strategy == "thunkless" and not report.schedule.ok:
+        raise CompileError(
+            "cannot force thunkless code: " + "; ".join(
+                report.schedule.failures
+            )
+        )
+    report.strategy = strategy
+
+    from repro.codegen.exprs import CodegenError
+
+    try:
+        if strategy == "thunkless":
+            source = emit_thunkless(
+                report.comp, report.schedule, options, params,
+                edges=report.edges,
+            )
+            if options.vectorize:
+                report.notes.append(
+                    "vectorization requested (paper §10): qualifying "
+                    "innermost loops emitted as numpy slices"
+                )
+        elif strategy == "thunked":
+            source = emit_thunked(report.comp, options, params)
+        else:
+            raise CompileError(f"unknown strategy {strategy!r}")
+    except CodegenError as exc:
+        raise CompileError(f"cannot generate code: {exc}") from exc
+    return CompiledComp(source, report)
+
+
+def find_bigupd(expr: ast.Node):
+    """Locate ``bigupd old pairs``; returns ``(old_name, pairs_ast)``."""
+    if isinstance(expr, ast.Let) and expr.binds:
+        return find_bigupd(expr.binds[0].expr)
+    if (
+        isinstance(expr, ast.App)
+        and isinstance(expr.fn, ast.Var)
+        and expr.fn.name == "bigupd"
+        and len(expr.args) == 2
+        and isinstance(expr.args[0], ast.Var)
+    ):
+        return expr.args[0].name, expr.args[1]
+    raise CompileError(
+        "expected an application of 'bigupd' to an array name and pairs"
+    )
+
+
+def compile_bigupd(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledComp:
+    """Compile the paper's §9 ``bigupd a svpairs`` construct directly.
+
+    Sugar over :func:`compile_array_inplace`: the updated array's name
+    is read from the ``bigupd`` application and its bounds are taken
+    from the input array at run time.  ``bigupd`` semantics — all reads
+    see the *original* values — is exactly the anti-dependence model,
+    so node-splitting (or the whole-copy fallback) preserves it while
+    mutating in place.
+    """
+    expr = _parse(src)
+    old_name, pairs_ast = find_bigupd(expr)
+    return _compile_inplace_parts(
+        "", None, pairs_ast, old_name, params, options
+    )
+
+
+def compile_accum_array(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledComp:
+    """Compile ``accumArray f init bounds pairs`` (§3/§7 extension).
+
+    A commutative-associative combiner (recognized ``+``, ``*``,
+    ``min``, ``max`` shapes) leaves the scheduler free; any other
+    combiner makes colliding writes *ordered* output dependences, so
+    the loops replay the pair list in source order (the fold order).
+    An unrecognized combiner expression is compiled as an environment
+    call when it is a plain variable, otherwise rejected.
+    """
+    from repro.codegen.emit import emit_accum
+    from repro.codegen.exprs import CodegenError
+    from repro.core.accum import (
+        classify_combiner,
+        find_accum_array,
+        reordering_allowed,
+        source_schedule,
+    )
+
+    expr = _parse(src)
+    try:
+        name, f_ast, init_ast, bounds_ast, pairs_ast = find_accum_array(expr)
+    except ValueError as exc:
+        raise CompileError(str(exc)) from exc
+    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    kind, op = classify_combiner(f_ast)
+
+    if kind == "commutative":
+        combine = op
+    elif isinstance(f_ast, ast.Var):
+        combine = ("env", f_ast.name)
+    elif isinstance(f_ast, ast.Lam) and len(f_ast.params) == 2:
+        combine = ("lambda", f_ast)
+    else:
+        raise CompileError(
+            "combining function must be a two-parameter lambda or a name"
+        )
+
+    collision = analyze_collisions(comp)
+    empties = analyze_empties(comp, collision)
+    edges = flow_edges(comp) if comp.name else []
+
+    if reordering_allowed(comp, kind):
+        schedule = schedule_comp(comp, edges)
+        strategy_note = "reorderable (commutative or collision-free)"
+    else:
+        schedule = source_schedule(comp)
+        strategy_note = "source order preserved (ordered combiner)"
+    if not schedule.ok:
+        raise CompileError(
+            "cannot schedule accumulated array: "
+            + "; ".join(schedule.failures)
+        )
+
+    report = Report(
+        comp=comp,
+        collision=collision,
+        empties=empties,
+        edges=edges,
+        schedule=schedule,
+        strategy="accumulate",
+        checks=options or CodegenOptions(),
+        vectorizable=_vectorizable_loops(comp, edges),
+        notes=[f"combiner: {kind}" + (f" ({op})" if op else ""),
+               strategy_note],
+    )
+    try:
+        source = emit_accum(comp, schedule, combine, init_ast,
+                            report.checks, params)
+    except CodegenError as exc:
+        raise CompileError(f"cannot generate code: {exc}") from exc
+    return CompiledComp(source, report)
+
+
+def compile_array_inplace(
+    src,
+    old_array: str,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledComp:
+    """Compile a definition to run in the storage of ``old_array`` (§9).
+
+    The definition's reads of ``old_array`` become anti dependences;
+    reads of the array's own name (if recursive) stay flow
+    dependences.  Node-splitting temporaries are inserted exactly where
+    the anti dependences demand; if the stencil model does not apply,
+    the whole-copy fallback is generated (and noted in the report).
+    """
+    expr = _parse(src)
+    name, bounds_ast, pairs_ast = find_array_comp(expr)
+    return _compile_inplace_parts(
+        name, bounds_ast, pairs_ast, old_array, params, options
+    )
+
+
+def _compile_inplace_parts(
+    name: str,
+    bounds_ast,
+    pairs_ast,
+    old_array: str,
+    params: Optional[Dict[str, int]],
+    options: Optional[CodegenOptions],
+) -> CompiledComp:
+    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    collision = analyze_collisions(comp)
+    empties = analyze_empties(comp, collision)
+    if collision.status == CERTAIN:
+        raise CompileError("write collision is certain")
+
+    flow = flow_edges(comp) if comp.name else []
+    anti = anti_edges(comp, old_array)
+    edges = flow + anti
+    schedule = schedule_comp(comp, edges, allow_node_splitting=True)
+    report = Report(
+        comp=comp,
+        collision=collision,
+        empties=empties,
+        edges=edges,
+        schedule=schedule,
+        vectorizable=_vectorizable_loops(comp, flow),
+    )
+    if not schedule.ok:
+        raise CompileError(
+            "cannot schedule in-place update: "
+            + "; ".join(schedule.failures)
+        )
+    plan = plan_inplace(
+        comp,
+        old_array,
+        schedule.clause_directions(),
+        schedule.clause_positions(),
+    )
+    report.inplace_plan = plan
+    if plan.mode == "whole_copy":
+        report.strategy = "inplace-copy"
+        report.notes.append(f"whole-copy fallback: {plan.reason}")
+    else:
+        report.strategy = "inplace"
+        if plan.snapshots or plan.hoisted:
+            report.notes.append(
+                f"node-splitting: {len(plan.snapshots)} snapshot ring(s), "
+                f"{len(plan.hoisted)} hoisted temp(s)"
+            )
+    report.checks = options or CodegenOptions()
+    source = emit_inplace(comp, schedule, plan, report.checks, params)
+    return CompiledComp(source, report)

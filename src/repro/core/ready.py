@@ -1,0 +1,70 @@
+"""The ready/not-ready marking algorithm (paper §8.1.3).
+
+Given an acyclic entity dependence graph and a tentative pass
+direction, a node must be marked **not-ready** if it is reachable from
+any root (in-degree-zero node) via a path containing at least one edge
+the pass direction cannot satisfy — for a forward pass, any ``(>)``
+edge.  Ready nodes are safe to schedule in the current pass; the
+scheduler then deletes them and repeats.
+
+The algorithm is the paper's modified depth-first search: each node is
+visited at most twice (once via a clean path, once via a tainted one),
+so the cost is ``O(max(|V|, |E|))`` like plain DFS.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Set
+
+from repro.core.graph import Digraph
+
+#: Edge labels a forward pass cannot satisfy within the pass.
+_INCOMPATIBLE = {
+    "forward": {"bwd", "both"},
+    "backward": {"fwd", "both"},
+}
+
+
+def mark_ready(graph: Digraph, direction: str) -> Set[Hashable]:
+    """Return the set of ready vertices for a pass in ``direction``.
+
+    ``graph`` must be a DAG.  ``direction`` is ``"forward"`` or
+    ``"backward"``.  Edge labels are ``"order"`` (loop-independent),
+    ``"fwd"`` (``<``), ``"bwd"`` (``>``), ``"both"`` (unknown ``*``).
+    """
+    if direction not in _INCOMPATIBLE:
+        raise ValueError(f"bad pass direction {direction!r}")
+    bad = _INCOMPATIBLE[direction]
+
+    indegree = {vertex: 0 for vertex in graph.succ}
+    for _, dst, _ in graph.edges():
+        indegree[dst] += 1
+    roots = [vertex for vertex, count in indegree.items() if count == 0]
+
+    # ready[v]: True while every path that has reached v was clean.
+    visited: Set[Hashable] = set()
+    ready = {vertex: True for vertex in graph.succ}
+
+    def visit(vertex: Hashable, clean: bool) -> None:
+        # The four cases of the paper's modified DFS.
+        if vertex not in visited:
+            visited.add(vertex)
+            ready[vertex] = clean
+            for dst, label in graph.succ[vertex]:
+                visit(dst, clean and label not in bad)
+            return
+        if clean:
+            return  # Clean revisits never change a marking.
+        if not ready[vertex]:
+            return  # Already tainted.
+        # Tainted path into a previously-clean node: remark and
+        # re-walk its descendants.
+        ready[vertex] = False
+        for dst, label in graph.succ[vertex]:
+            visit(dst, False)
+
+    for root in roots:
+        visit(root, True)
+    # In a DAG every vertex is reachable from some root, so all have
+    # been visited and carry a final marking.
+    return {vertex for vertex in graph.succ if ready[vertex]}

@@ -1,0 +1,498 @@
+"""Static scheduling of comprehension loops (paper §8).
+
+Given the loop IR of an array comprehension and its dependence edges,
+decide — per loop, innermost to outermost via recursion — a direction
+and an entity order (with pass splitting where needed) such that every
+dependence edge's source is computed before its sink.  When that is
+possible the array compiles **thunklessly**; when some strongly
+connected component mixes ``<`` and ``>`` carried edges (or has a
+loop-independent cycle) the paper's answer is to fall back to thunks,
+unless the offending cycles run through *breakable* anti edges, in
+which case node-splitting applies (§9, handled with
+:mod:`repro.core.inplace`).
+
+The per-level algorithm is §8's:
+
+1. treat each inner loop as a single entity (§8.2);
+2. classify each active dependence edge by its direction component at
+   this level — ``<`` / ``>`` constrain the loop direction, ``=``
+   orders entities within an instance (§8.1.1);
+3. SCCs that mix directions cannot be scheduled (§8.1.2);
+4. the acyclic quotient is split into passes with the ready/not-ready
+   marking (§8.1.3), collapsing agreeing passes into single loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comprehension.loopir import ArrayComp, LoopNest, SVClause
+from repro.core.dependence import DepEdge
+from repro.core.graph import Digraph
+from repro.core.ready import mark_ready
+
+FORWARD = "forward"
+BACKWARD = "backward"
+EITHER = "either"
+
+_LABEL_OF_SYMBOL = {"<": "fwd", ">": "bwd", "=": "order", "*": "both"}
+_REQUIRED_DIRECTION = {"fwd": FORWARD, "bwd": BACKWARD}
+
+
+@dataclass
+class ScheduledClause:
+    """A clause placed in the schedule."""
+
+    clause: SVClause
+
+    def __repr__(self):
+        return f"S({self.clause.label})"
+
+
+@dataclass
+class ScheduledLoop:
+    """One pass of a loop: a full run in ``direction`` over its body."""
+
+    loop: LoopNest
+    direction: str
+    body: List[object] = field(default_factory=list)
+
+    def __repr__(self):
+        return f"Loop({self.loop.var}:{self.direction}, {self.body})"
+
+
+@dataclass
+class Schedule:
+    """The result of static scheduling.
+
+    ``ok`` is False when some region requires thunks; ``failures``
+    explains why.  ``split_edges`` lists breakable (anti) edges whose
+    cycles were broken by node-splitting — code generation must insert
+    the corresponding temporaries.
+    """
+
+    comp: ArrayComp
+    items: List[object] = field(default_factory=list)
+    ok: bool = True
+    failures: List[str] = field(default_factory=list)
+    split_edges: List[DepEdge] = field(default_factory=list)
+
+    def loop_directions(self) -> Dict[str, List[str]]:
+        """Map original loop variable -> directions of its passes."""
+        out: Dict[str, List[str]] = {}
+
+        def walk(items):
+            for item in items:
+                if isinstance(item, ScheduledLoop):
+                    out.setdefault(item.loop.var, []).append(item.direction)
+                    walk(item.body)
+
+        walk(self.items)
+        return out
+
+    def clause_directions(self) -> Dict[int, Tuple[str, ...]]:
+        """Map clause index -> directions of its surrounding scheduled
+        loops, outermost first (first pass containing the clause)."""
+        out: Dict[int, Tuple[str, ...]] = {}
+
+        def walk(items, context: Tuple[str, ...]):
+            for item in items:
+                if isinstance(item, ScheduledClause):
+                    out.setdefault(item.clause.index, context)
+                else:
+                    walk(item.body, context + (item.direction,))
+
+        walk(self.items, ())
+        return out
+
+    def clause_positions(self) -> Dict[int, int]:
+        """Map clause index -> its position in overall schedule order."""
+        return {
+            clause_index: position
+            for position, clause_index in enumerate(self.clause_order())
+        }
+
+    def clause_order(self) -> List[int]:
+        """Clause indices in schedule order (first pass occurrences)."""
+        order = []
+
+        def walk(items):
+            for item in items:
+                if isinstance(item, ScheduledClause):
+                    if item.clause.index not in order:
+                        order.append(item.clause.index)
+                else:
+                    walk(item.body)
+
+        walk(self.items)
+        return order
+
+
+@dataclass
+class _Active:
+    """A dependence edge mapped onto entities of the current level."""
+
+    src: int
+    dst: int
+    label: str  # 'fwd' | 'bwd' | 'order' | 'both' | 'self'
+    edge: DepEdge
+
+
+def _entity_index(entities: Sequence, clause: SVClause) -> Optional[int]:
+    """Which direct child entity contains ``clause``."""
+    for index, entity in enumerate(entities):
+        if entity is clause:
+            return index
+        if isinstance(entity, LoopNest) and _contains(entity, clause):
+            return index
+    return None
+
+
+def _contains(loop: LoopNest, clause: SVClause) -> bool:
+    return loop in clause.loops
+
+
+def _classify(
+    edge: DepEdge, depth: int, entities: Sequence
+) -> Optional[_Active]:
+    """Activity of ``edge`` when scheduling children at ``depth``.
+
+    ``depth`` is the number of loops on the path (0 = virtual root).
+    Returns ``None`` when the edge is handled at another level.
+    """
+    src_entity = _entity_index(entities, edge.src)
+    dst_entity = _entity_index(entities, edge.dst)
+    if src_entity is None or dst_entity is None:
+        return None
+    direction = edge.direction
+    # Components for loops enclosing this one must all be '='.
+    for symbol in direction[: depth - 1] if depth else ():
+        if symbol != "=":
+            return None
+    if depth == 0:
+        # Virtual root: only cross-entity, loop-independent edges.
+        if src_entity == dst_entity:
+            if edge.src is edge.dst and not direction:
+                return _Active(src_entity, dst_entity, "self", edge)
+            return None
+        return _Active(src_entity, dst_entity, "order", edge)
+    if len(direction) < depth:
+        # Fewer shared loops than the current nesting: endpoints are in
+        # different subtrees, so this edge was active at an outer level.
+        return None
+    symbol = direction[depth - 1]
+    label = _LABEL_OF_SYMBOL[symbol]
+    if src_entity == dst_entity:
+        if label == "order":
+            if edge.src is edge.dst and all(
+                s == "=" for s in direction[depth - 1:]
+            ):
+                # A clause instance needing its own value: a genuine
+                # self-dependence.
+                return _Active(src_entity, dst_entity, "self", edge)
+            return None  # Same child, '=' here: an inner level's business.
+        return _Active(src_entity, dst_entity, label, edge)
+    if label == "order":
+        return _Active(src_entity, dst_entity, "order", edge)
+    return _Active(src_entity, dst_entity, label, edge)
+
+
+@dataclass
+class _Pass:
+    direction: str
+    entity_indices: List[int]
+
+
+class _Scheduler:
+    def __init__(self, comp: ArrayComp, edges: Sequence[DepEdge],
+                 allow_node_splitting: bool):
+        self.comp = comp
+        self.edges = list(edges)
+        self.allow_split = allow_node_splitting
+        self.failures: List[str] = []
+        self.split_edges: List[DepEdge] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        items = self.schedule_node(self.comp.roots, depth=0, where="top level")
+        return Schedule(
+            comp=self.comp,
+            items=items,
+            ok=not self.failures,
+            failures=self.failures,
+            split_edges=self.split_edges,
+        )
+
+    def schedule_node(self, entities: Sequence, depth: int, where: str):
+        """Schedule the children of one node; returns scheduled items."""
+        active = []
+        for edge in self.edges:
+            classified = _classify(edge, depth, entities)
+            if classified is not None:
+                active.append(classified)
+
+        # Self-dependences (a clause instance reading itself) can never
+        # be scheduled; and they would make the runtime bottom anyway.
+        for item in active:
+            if item.label == "self":
+                self.failures.append(
+                    f"{item.edge.src.label} depends on itself within a "
+                    f"single instance at {where}"
+                )
+        active = [item for item in active if item.label != "self"]
+
+        # Resolve SCC conflicts; node-splitting removes the broken anti
+        # edges from the graph, which may change the SCC structure, so
+        # iterate until stable.
+        while True:
+            graph = Digraph(range(len(entities)))
+            for item in active:
+                graph.add_edge(item.src, item.dst, item)
+            scc_required = self._resolve_sccs(graph, active, where)
+            split_ids = {id(edge) for edge in self.split_edges}
+            filtered = [
+                item for item in active if id(item.edge) not in split_ids
+            ]
+            if len(filtered) == len(active):
+                break
+            active = filtered
+
+        quotient, scc_of = graph.quotient()
+
+        if depth == 0:
+            ordered = self._order_root(quotient, scc_of, graph, active,
+                                       entities, where)
+            return self._expand(ordered, entities, depth)
+
+        passes = self._split_passes(quotient, scc_of, graph, active,
+                                    scc_required)
+        out = []
+        for one_pass in passes:
+            body = self._expand(one_pass.entity_indices, entities, depth,
+                                direction=one_pass.direction)
+            out.append((one_pass.direction, body))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _resolve_sccs(self, graph: Digraph, active, where) -> Dict[int, str]:
+        """Direction requirement per SCC id; records failures/splits."""
+        quotient, scc_of = graph.quotient()
+        members: Dict[int, List[int]] = {}
+        for vertex, scc in scc_of.items():
+            members.setdefault(scc, []).append(vertex)
+        required: Dict[int, str] = {}
+        for scc, verts in members.items():
+            inside = [
+                item for item in active
+                if scc_of[item.src] == scc and scc_of[item.dst] == scc
+            ]
+            requirement = self._scc_requirement(inside, verts, where)
+            required[scc] = requirement
+        return required
+
+    def _scc_requirement(self, inside, verts, where) -> str:
+        labels = {item.label for item in inside}
+        conflict = (
+            ("fwd" in labels and "bwd" in labels)
+            or "both" in labels
+            or not self._order_acyclic(inside, verts)
+        )
+        if conflict and self.allow_split:
+            unbreakable = [
+                item for item in inside if not item.edge.breakable
+            ]
+            breakable = [item for item in inside if item.edge.breakable]
+            hard_labels = {item.label for item in unbreakable}
+            if (
+                not ("fwd" in hard_labels and "bwd" in hard_labels)
+                and "both" not in hard_labels
+                and self._order_acyclic(unbreakable, verts)
+            ):
+                # Node-splitting: the breakable edges are satisfied by
+                # temporaries instead of by the schedule.
+                self.split_edges.extend(item.edge for item in breakable)
+                labels = hard_labels
+                conflict = False
+        if conflict:
+            clause_names = sorted(
+                {item.edge.src.label for item in inside}
+                | {item.edge.dst.label for item in inside}
+            )
+            self.failures.append(
+                f"dependence cycle with irreconcilable directions among "
+                f"{', '.join(clause_names)} at {where}"
+            )
+            return EITHER
+        if "fwd" in labels:
+            return FORWARD
+        if "bwd" in labels:
+            return BACKWARD
+        return EITHER
+
+    @staticmethod
+    def _order_acyclic(inside, verts) -> bool:
+        order_graph = Digraph(verts)
+        for item in inside:
+            if item.label == "order" and item.src != item.dst:
+                order_graph.add_edge(item.src, item.dst)
+        return order_graph.is_acyclic()
+
+    # ------------------------------------------------------------------
+
+    def _order_root(self, quotient, scc_of, graph, active, entities, where):
+        """Top level: no surrounding loop, so only a topological order."""
+        for scc in set(scc_of.values()):
+            verts = [v for v, s in scc_of.items() if s == scc]
+            if len(verts) > 1:
+                self.failures.append(
+                    f"cyclic ordering among top-level entities at {where}"
+                )
+        try:
+            scc_order = quotient.topological_order()
+        except ValueError:
+            scc_order = list(range(len(quotient)))
+        ordered = []
+        for scc in scc_order:
+            ordered.extend(
+                v for v, s in scc_of.items() if s == scc
+            )
+        return ordered
+
+    def _split_passes(self, quotient, scc_of, graph, active, required):
+        """Multi-pass scheduling of the SCC quotient DAG (§8.1.3)."""
+        remaining = set(quotient.vertices)
+        passes: List[_Pass] = []
+        guard = 0
+        while remaining:
+            guard += 1
+            if guard > len(quotient) + 2:
+                raise RuntimeError("pass scheduling failed to make progress")
+            sub = Digraph(remaining)
+            for src, dst, label in quotient.edges():
+                if src in remaining and dst in remaining and src != dst:
+                    sub.add_edge(src, dst, label.label)
+            direction = self._choose_direction(sub, required, remaining)
+            ready = mark_ready(
+                _relabel(sub), direction if direction != EITHER else FORWARD
+            )
+            # Nodes whose own requirement conflicts with the pass
+            # direction must wait, along with everything downstream.
+            conflicting = {
+                node for node in ready
+                if required.get(node, EITHER) not in (EITHER, direction)
+                and direction != EITHER
+            }
+            if conflicting:
+                blocked = sub.reachable_from(sorted(conflicting))
+                ready -= blocked
+            if not ready:
+                # Fall back: schedule the roots alone in their own
+                # required direction.
+                indegree = {v: 0 for v in sub.succ}
+                for s, d, _ in sub.edges():
+                    indegree[d] += 1
+                roots = [v for v, c in indegree.items() if c == 0]
+                direction = required.get(roots[0], EITHER)
+                ready = {roots[0]}
+            ordered = self._order_within_pass(ready, scc_of, active)
+            passes.append(_Pass(direction, ordered))
+            remaining -= ready
+        return passes
+
+    def _choose_direction(self, sub, required, remaining) -> str:
+        indegree = {v: 0 for v in sub.succ}
+        for _, dst, _ in sub.edges():
+            indegree[dst] += 1
+        roots = [v for v, c in indegree.items() if c == 0]
+        root_requirements = {
+            required[root] for root in roots if required[root] != EITHER
+        }
+        if len(root_requirements) == 1:
+            return root_requirements.pop()
+        # Heuristic from the paper: pick the direction agreeing with the
+        # carried edges leaving the roots; break ties by the larger
+        # ready set.
+        forward_ready = mark_ready(_relabel(sub), FORWARD)
+        backward_ready = mark_ready(_relabel(sub), BACKWARD)
+        forward_ready = {
+            v for v in forward_ready if required[v] in (EITHER, FORWARD)
+        }
+        backward_ready = {
+            v for v in backward_ready if required[v] in (EITHER, BACKWARD)
+        }
+        if len(backward_ready) > len(forward_ready):
+            return BACKWARD
+        if forward_ready == backward_ready and not any(
+            required[v] != EITHER for v in remaining
+        ):
+            carried = {label for _, _, label in sub.edges()
+                       if label in ("fwd", "bwd")}
+            if carried == {"bwd"}:
+                return BACKWARD
+            if not carried:
+                return EITHER
+        return FORWARD
+
+    def _order_within_pass(self, ready, scc_of, active) -> List[int]:
+        """Entity order inside one pass: topological by 'order' edges."""
+        vertices = sorted(
+            v for v, s in scc_of.items() if s in ready
+        )
+        order_graph = Digraph(vertices)
+        vertex_set = set(vertices)
+        for item in active:
+            if (
+                item.label == "order"
+                and item.src in vertex_set
+                and item.dst in vertex_set
+                and item.src != item.dst
+            ):
+                order_graph.add_edge(item.src, item.dst)
+        try:
+            return order_graph.topological_order()
+        except ValueError:
+            return vertices  # Cycle already reported as a failure.
+
+    # ------------------------------------------------------------------
+
+    def _expand(self, ordered_indices, entities, depth, direction=None):
+        """Replace entity indices by scheduled items, recursing into
+        loops (which may expand into several passes)."""
+        out = []
+        for index in ordered_indices:
+            entity = entities[index]
+            if isinstance(entity, SVClause):
+                out.append(ScheduledClause(entity))
+                continue
+            inner = self.schedule_node(
+                entity.children, depth=depth + 1,
+                where=f"loop {entity.var}",
+            )
+            for inner_direction, body in inner:
+                out.append(ScheduledLoop(entity, inner_direction, body))
+        return out
+
+
+def _relabel(graph: Digraph) -> Digraph:
+    """Copy with plain string labels (mark_ready expects strings)."""
+    out = Digraph(graph.vertices)
+    for src, dst, label in graph.edges():
+        out.add_edge(src, dst, label)
+    return out
+
+
+def schedule_comp(
+    comp: ArrayComp,
+    edges: Sequence[DepEdge],
+    allow_node_splitting: bool = False,
+) -> Schedule:
+    """Statically schedule ``comp`` against ``edges``.
+
+    Returns a :class:`Schedule`; ``schedule.ok`` says whether thunkless
+    (or, with ``allow_node_splitting``, copy-minimal in-place) code can
+    be generated.
+    """
+    return _Scheduler(comp, edges, allow_node_splitting).run()

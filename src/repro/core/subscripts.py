@@ -1,0 +1,169 @@
+"""Reference pairs and dependence equations (paper §6).
+
+A :class:`Reference` is one textual occurrence of an array subscript —
+either a *write* (the subscript of an s/v clause) or a *read* (an
+``a!e`` inside a clause's value) — together with the loops that
+surround it, outermost first.  Loops are assumed **normalized**: index
+runs ``1..M`` with stride 1 (see :mod:`repro.comprehension.normalize`).
+
+Given two references to the same array, :class:`DependenceEquation`
+sets up the paper's dependence equation
+
+    ``h x1..xd y1..yd  =  f(x1..xd) - g(y1..yd)  =  0``
+
+with ``x`` the instance of the first reference's loops and ``y`` of the
+second's.  Shared loops contribute paired terms ``a_k x_k - b_k y_k``;
+unshared loops contribute one-sided terms (the paper's unshared-loop
+lemma).  The GCD, Banerjee, and exact tests all consume this form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.affine import Affine
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """A normalized loop: index ``var`` runs 1..``count`` by 1.
+
+    ``count`` is ``None`` when the trip count is not statically known;
+    tests then use conservative (infinite) bounds.  Identity matters:
+    two references share a loop only if they hold the *same*
+    ``LoopInfo`` object, so builders must reuse instances.
+    """
+
+    var: str
+    count: Optional[int] = None
+
+    def __repr__(self):
+        return f"LoopInfo({self.var}, M={self.count})"
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One subscripted occurrence of an array.
+
+    ``subscript`` has one affine expression per array dimension, written
+    over the ``var`` names of ``loops`` (plus nothing else); ``loops``
+    lists surrounding normalized loops, outermost first.
+    """
+
+    array: str
+    subscript: Tuple[Affine, ...]
+    loops: Tuple[LoopInfo, ...]
+    is_write: bool = False
+    clause: object = field(default=None, compare=False)
+
+    def __post_init__(self):
+        loop_vars = {loop.var for loop in self.loops}
+        for dim in self.subscript:
+            extra = dim.vars - loop_vars
+            if extra:
+                raise ValueError(
+                    f"subscript {dim!r} uses non-loop variables {extra}"
+                )
+
+
+@dataclass(frozen=True)
+class Term:
+    """One per-loop term ``a*x - b*y`` of the dependence equation.
+
+    ``a`` is the first reference's coefficient (``None`` if this loop
+    does not surround it), ``b`` the second's.  ``count`` is the loop
+    trip count ``M`` (``None`` = unknown).  ``shared`` is True when the
+    loop surrounds both references, in which case direction constraints
+    may relate ``x`` and ``y``.
+    """
+
+    loop: LoopInfo
+    a: Optional[int]
+    b: Optional[int]
+
+    @property
+    def count(self) -> Optional[int]:
+        return self.loop.count
+
+    @property
+    def shared(self) -> bool:
+        return self.a is not None and self.b is not None
+
+
+class DependenceEquation:
+    """The equation ``f(x) - g(y) = 0`` for one array dimension.
+
+    Attributes
+    ----------
+    constant:
+        ``b0 - a0``: the value the variable terms must sum to.
+    terms:
+        Per-loop :class:`Term` objects; shared loops first (outermost
+        first), then the first reference's unshared loops, then the
+        second's.
+    """
+
+    def __init__(self, constant: int, terms: Sequence[Term]):
+        self.constant = constant
+        self.terms = tuple(terms)
+
+    @property
+    def shared_terms(self) -> Tuple[Term, ...]:
+        """Terms for loops shared by both references, outermost first."""
+        return tuple(t for t in self.terms if t.shared)
+
+    @property
+    def depth(self) -> int:
+        """Number of shared loops (length of direction vectors)."""
+        return len(self.shared_terms)
+
+    def __repr__(self):
+        return f"DependenceEquation(constant={self.constant}, terms={self.terms})"
+
+
+def shared_loops(first: Reference, second: Reference) -> Tuple[LoopInfo, ...]:
+    """The common surrounding loops: the longest common prefix.
+
+    Loop *identity* is what matters — the same ``LoopInfo`` object must
+    appear in both references' loop lists.
+    """
+    out = []
+    for mine, theirs in zip(first.loops, second.loops):
+        if mine is not theirs:
+            break
+        out.append(mine)
+    return tuple(out)
+
+
+def build_equations(
+    first: Reference, second: Reference
+) -> Tuple[DependenceEquation, ...]:
+    """Dependence equations between two references, one per dimension.
+
+    A dependence between the references exists only if *every*
+    dimension's equation has a solution (tests on each dimension are
+    ANDed, paper §6).  Raises ``ValueError`` on rank mismatch.
+    """
+    if first.array != second.array:
+        raise ValueError(
+            f"references are to different arrays: "
+            f"{first.array!r} vs {second.array!r}"
+        )
+    if len(first.subscript) != len(second.subscript):
+        raise ValueError("subscript rank mismatch")
+    shared = shared_loops(first, second)
+    shared_set = set(shared)
+    equations = []
+    for f_dim, g_dim in zip(first.subscript, second.subscript):
+        terms = []
+        for loop in shared:
+            terms.append(Term(loop, f_dim.coeff(loop.var), g_dim.coeff(loop.var)))
+        for loop in first.loops:
+            if loop not in shared_set:
+                terms.append(Term(loop, f_dim.coeff(loop.var), None))
+        for loop in second.loops:
+            if loop not in shared_set:
+                terms.append(Term(loop, None, g_dim.coeff(loop.var)))
+        equations.append(DependenceEquation(g_dim.const - f_dim.const, terms))
+    return tuple(equations)

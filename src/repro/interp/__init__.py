@@ -1,0 +1,37 @@
+"""Call-by-need interpreter for the surface language.
+
+This is the *semantic oracle* of the reproduction: it evaluates the
+surface AST with genuine lazy semantics (memoizing thunks everywhere,
+non-strict monolithic arrays), so the optimizing pipeline's output can
+be checked against it, and so the cost of naive lazy evaluation can be
+measured (experiment E10).
+
+Entry points: :func:`repro.interp.interp.evaluate` and
+:func:`repro.interp.interp.run_program`.
+"""
+
+from repro.interp.env import Env
+from repro.interp.interp import Interpreter, evaluate, run_program
+from repro.interp.values import (
+    Builtin,
+    Closure,
+    Cons,
+    NIL,
+    haskell_list,
+    iter_list,
+    python_list,
+)
+
+__all__ = [
+    "Builtin",
+    "Closure",
+    "Cons",
+    "Env",
+    "Interpreter",
+    "NIL",
+    "evaluate",
+    "haskell_list",
+    "iter_list",
+    "python_list",
+    "run_program",
+]

@@ -1,0 +1,45 @@
+"""Lexical environments for the interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Env:
+    """A chained mapping from names to (possibly thunked) values."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: Optional[Dict[str, Any]] = None,
+                 parent: Optional["Env"] = None):
+        self.bindings = bindings if bindings is not None else {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        """Find ``name``, searching enclosing scopes."""
+        env = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise NameError(f"unbound variable: {name}")
+
+    def child(self, bindings: Optional[Dict[str, Any]] = None) -> "Env":
+        """A new scope nested inside this one."""
+        return Env(bindings, parent=self)
+
+    def define(self, name: str, value: Any) -> None:
+        """Bind ``name`` in this scope (used to tie recursive knots)."""
+        self.bindings[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        env = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False
+
+    def __repr__(self):
+        names = sorted(self.bindings)
+        return f"Env({names}{' + parent' if self.parent else ''})"

@@ -1,0 +1,134 @@
+"""Run-time values of the lazy interpreter.
+
+Numbers, booleans, and Python tuples represent themselves.  Lists are
+lazy cons cells (:class:`Cons` / :data:`NIL`) whose head and tail may be
+thunks.  Functions are :class:`Closure` (source lambdas) or
+:class:`Builtin` (primitives); both curry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.runtime.thunks import Thunk, force
+
+
+class _Nil:
+    """The empty list (a singleton)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "NIL"
+
+    def __iter__(self):
+        return iter(())
+
+
+#: The empty-list value.
+NIL = _Nil()
+
+
+class ConsStats:
+    """Counter of cons-cell allocations (deforestation benchmarks)."""
+
+    __slots__ = ("allocated",)
+
+    def __init__(self):
+        self.allocated = 0
+
+    def reset(self):
+        """Zero the counter."""
+        self.allocated = 0
+
+    def __repr__(self):
+        return f"ConsStats(allocated={self.allocated})"
+
+
+#: Global cons-allocation statistics; benchmarks reset before a run.
+CONS_STATS = ConsStats()
+
+
+class Cons:
+    """A lazy cons cell; ``head`` and ``tail`` may be thunks."""
+
+    __slots__ = ("head", "tail")
+
+    def __init__(self, head, tail):
+        self.head = head
+        self.tail = tail
+        CONS_STATS.allocated += 1
+
+    def __repr__(self):
+        return "Cons(...)"
+
+
+def haskell_list(items: Iterable[Any]):
+    """Build a fully-spine-strict list value from a Python iterable."""
+    items = list(items)
+    result = NIL
+    for item in reversed(items):
+        result = Cons(item, result)
+    return result
+
+
+def iter_list(value) -> Iterator[Any]:
+    """Iterate a (possibly lazy) list value, forcing the spine.
+
+    Heads are yielded unforced — callers decide element strictness.
+    """
+    value = force(value)
+    while value is not NIL:
+        if not isinstance(value, Cons):
+            raise TypeError(f"expected a list, got {value!r}")
+        yield value.head
+        value = force(value.tail)
+
+
+def python_list(value) -> list:
+    """Fully force a list value into a Python list of forced elements."""
+    return [force(head) for head in iter_list(value)]
+
+
+@dataclass
+class Closure:
+    """A source-language function value.
+
+    ``params`` may be several names (multi-parameter lambda); applying
+    fewer arguments than parameters yields a partially-applied closure.
+    """
+
+    params: tuple
+    body: Any
+    env: Any
+
+    def __repr__(self):
+        return f"Closure({' '.join(self.params)})"
+
+
+class Builtin:
+    """A primitive function of fixed arity; currying supported."""
+
+    __slots__ = ("name", "arity", "fn", "args")
+
+    def __init__(self, name: str, arity: int, fn: Callable, args=()):
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+        self.args = tuple(args)
+
+    def apply(self, arg):
+        """Apply to one (possibly unforced) argument."""
+        args = self.args + (arg,)
+        if len(args) == self.arity:
+            return self.fn(*args)
+        return Builtin(self.name, self.arity, self.fn, args)
+
+    def __repr__(self):
+        return f"Builtin({self.name}/{self.arity}, applied={len(self.args)})"
+
+
+def is_function(value) -> bool:
+    """Whether ``value`` can be applied to an argument."""
+    return isinstance(value, (Closure, Builtin))

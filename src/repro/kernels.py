@@ -1,0 +1,318 @@
+"""Catalog of the paper's kernels (and a few classic extras).
+
+Every worked example and efficiency claim of Anderson & Hudak (PLDI
+1990) appears here as surface source text plus reference Python
+implementations, so tests, benchmarks, and examples share one
+definition of each kernel.
+
+The monolithic kernels are meant for :func:`repro.compile_array` (and
+the lazy oracle :func:`repro.evaluate`); the in-place kernels for
+:func:`repro.compile_array_inplace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# ----------------------------------------------------------------------
+# Monolithic kernels (paper §3, §5, §8).
+
+#: The §3 wavefront recurrence: north/west borders 1, each interior
+#: element the sum of its N, W, NW neighbours.  Dependences
+#: (<,=), (=,<), (<,<): both loops forward.
+WAVEFRONT = """
+letrec* a = array ((1,1),(n,n))
+   ([ (1,j) := 1 | j <- [1..n] ] ++
+    [ (i,1) := 1 | i <- [2..n] ] ++
+    [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)
+      | i <- [2..n], j <- [2..n] ])
+in a
+"""
+
+#: §5 example 1: three stride-3 clauses in one loop of 100.  Expected
+#: dependence graph: 1 -> 2 (<), 1 -> 3 (=); forward loop, clause 1
+#: before clause 3 within an instance.
+STRIDE3 = """
+letrec* a = array (1,300)
+  [* [3*i := 1] ++
+     [ 3*i-1 := (if i > 1 then a!(3*(i-1)) else 0) + 1 ] ++
+     [ 3*i-2 := a!(3*i) * 2 ]
+   | i <- [1..100] *]
+in a
+"""
+
+#: §5 example 1 with the guard dropped (the paper's schematic form;
+#: the value read at i=1 is out of bounds, so only use for analysis).
+STRIDE3_SCHEMATIC = """
+letrec a = array (1,300)
+  [* [3*i := 1] ++
+     [ 3*i-1 := a!(3*(i-1)) + 1 ] ++
+     [ 3*i-2 := a!(3*i) * 2 ]
+   | i <- [1..100] *]
+in a
+"""
+
+#: §5 example 2's dependence structure: clauses 1 and 2 in a nested
+#: i/j loop, clause 3 under i only; edges 2 -> 1 (=,>), 1 -> 2 (<,>),
+#: 2 -> 3 (<).  Schedule: i forward, j backward, clause 3 after the
+#: inner loop.  (The paper's figure elides the value expressions; the
+#: subscripts here realize exactly those three edges, with guards
+#: keeping the reads in bounds.)
+EXAMPLE2 = """
+letrec a = array (1,3000)
+  [* [* [ 100*i + 2*j + 1 :=
+            (if j < 20 then a!(100*i + 2*(j+1)) else 0) + 1,
+          100*i + 2*j :=
+            (if i > 1 && j < 20 then a!(100*(i-1) + 2*(j+1) + 1)
+                                else 0) + 2 ]
+        | j <- [1..20] *] ++
+     [ 100*i + 51 := (if i > 1 then a!(100*(i-1) + 10) else 0) ]
+   | i <- [1..10] *]
+in a
+"""
+
+#: §8.1.2 acyclic example: A -> B (<), B -> C (>), A -> C (=).
+#: Three per-clause loops collapsible to two passes.
+ABC_ACYCLIC = """
+letrec* a = array (3,32)
+  [* [ 3*i := 1,
+       3*i+1 := (if i > 1 then a!(3*(i-1)) else 0) + 1,
+       3*i+2 := (if i < 10 then a!(3*(i+1)+1) else 0) + a!(3*i) ]
+   | i <- [1..10] *]
+in a
+"""
+
+#: §8.1.2 cyclic example: A -> B (<), B -> A (>) — a cycle with both
+#: edge kinds; no static schedule exists and the compiler must fall
+#: back to thunks.  (The guards make the recursion well-founded so the
+#: thunked code still terminates.)
+CYCLIC_FALLBACK = """
+letrec* a = array (2,21)
+  [* [ 2*i := (if i < 9 then a!(2*(i+2)+1) else 0) + 1,
+       2*i+1 := (if i > 1 then a!(2*(i-1)) else 0) + 1 ]
+   | i <- [1..10] *]
+in a
+"""
+
+#: A first-order linear recurrence (tridiagonal-style forward sweep).
+FORWARD_RECURRENCE = """
+letrec* x = array (1,n)
+  ([ 1 := b!1 ] ++
+   [ i := b!i - c!i * x!(i-1) | i <- [2..n] ])
+in x
+"""
+
+#: A backward recurrence: the comprehension is written forward but the
+#: dependence forces a backward loop.
+BACKWARD_RECURRENCE = """
+letrec* x = array (1,n)
+  ([ n := b!n ] ++
+   [ i := b!i + c!i * x!(i+1) | i <- [1..n-1] ])
+in x
+"""
+
+#: Matrix multiply: a reduction inside the element value (compiled to
+#: a fused generator expression — no intermediate list, §3.1).
+MATMUL = """
+letrec* c = array ((1,1),(n,n))
+  [ (i,j) := sum [ x!(i,k) * y!(k,j) | k <- [1..n] ]
+  | i <- [1..n], j <- [1..n] ]
+in c
+"""
+
+#: Vector of squares — the paper's first example of the syntax.
+SQUARES = """
+letrec* a = array (1,n) [ i := i*i | i <- [1..n] ]
+in a
+"""
+
+#: Pascal's triangle by rows, padded with zeros (guards + recurrence).
+PASCAL = """
+letrec* p = array ((1,1),(n,n))
+   ([ (i,1) := 1 | i <- [1..n] ] ++
+    [ (i,j) := (if j <= i then p!(i-1,j-1) + p!(i-1,j) else 0)
+      | i <- [2..n], j <- [2..n] ] ++
+    [ (1,j) := 0 | j <- [2..n] ])
+in p
+"""
+
+# ----------------------------------------------------------------------
+# In-place kernels (paper §9).
+
+#: LINPACK row swap: swap rows i and k of an m x n matrix, in place.
+#: Anti-dependence (=) cycle broken by node-splitting: one hoisted
+#: temporary per column — exactly the hand-coded swap.
+SWAP = """
+array ((1,1),(m,n))
+  [* [ (i,j) := a!(k,j), (k,j) := a!(i,j) ] | j <- [1..n] *]
+"""
+
+#: One Jacobi relaxation step on the interior of an m x m mesh, in
+#: place: all four neighbour reads are of the *old* array.  Anti
+#: self-cycles at both loop levels; node-splitting keeps a previous-row
+#: vector and a previous-element scalar (paper's §9 discussion).
+JACOBI = """
+array ((1,1),(m,m))
+  [* (i,j) := 0.25 * (u!(i-1,j) + u!(i+1,j) + u!(i,j-1) + u!(i,j+1))
+   | i <- [2..m-1], j <- [2..m-1] *]
+"""
+
+#: One Gauss-Seidel / SOR step (the Livermore Kernel 23 wavefront):
+#: north/west reads see *new* values (flow deps), south/east reads the
+#: old array (anti deps).  All four dependences agree with forward
+#: loops: no thunks, no copies.
+SOR = """
+letrec a = array ((1,1),(m,m))
+  [* (i,j) := u!(i,j) + omega *
+       (0.25 * (a!(i-1,j) + a!(i,j-1) + u!(i+1,j) + u!(i,j+1))
+        - u!(i,j))
+   | i <- [2..m-1], j <- [2..m-1] *]
+in a
+"""
+
+#: Plain Gauss-Seidel (omega = 1 form, matches the paper's simplified
+#: fragment).
+GAUSS_SEIDEL = """
+letrec a = array ((1,1),(m,m))
+  [* (i,j) := 0.25 * (a!(i-1,j) + a!(i,j-1) + u!(i+1,j) + u!(i,j+1))
+   | i <- [2..m-1], j <- [2..m-1] *]
+in a
+"""
+
+#: In-place SAXPY on a matrix row: row i += s * row k (LINPACK's
+#: daxpy on rows).  No anti conflicts: zero copies.
+SAXPY_ROW = """
+array ((1,1),(m,n))
+  [* (i,j) := a!(i,j) + s * a!(k,j) | j <- [1..n] *]
+"""
+
+#: Scaling a matrix row in place (LINPACK dscal): zero copies.
+SCALE_ROW = """
+array ((1,1),(m,n))
+  [* (i,j) := s * a!(i,j) | j <- [1..n] *]
+"""
+
+#: Reversing a vector in place: every element moves; anti dependences
+#: of both directions force node-splitting (or, without the stencil
+#: shape... this one *is* a stencil in neither dim) — exercises the
+#: whole-copy fallback.
+REVERSE = """
+array (1,n)
+  [* i := a!(n+1-i) | i <- [1..n] *]
+"""
+
+# ----------------------------------------------------------------------
+# Reference (hand-coded "Fortran-style") implementations.
+
+
+def ref_wavefront(n: int) -> List[List[int]]:
+    """Hand-scheduled wavefront; returns a dense row list."""
+    a = [[0] * (n + 1) for _ in range(n + 1)]
+    for j in range(1, n + 1):
+        a[1][j] = 1
+    for i in range(2, n + 1):
+        a[i][1] = 1
+    for i in range(2, n + 1):
+        for j in range(2, n + 1):
+            a[i][j] = a[i - 1][j] + a[i][j - 1] + a[i - 1][j - 1]
+    return a
+
+
+def ref_jacobi(cells: List[float], m: int) -> List[float]:
+    """One Jacobi step on a flat row-major m x m mesh (pure)."""
+    def at(r, c):
+        return cells[(r - 1) * m + (c - 1)]
+
+    out = list(cells)
+    for r in range(2, m):
+        for c in range(2, m):
+            out[(r - 1) * m + (c - 1)] = 0.25 * (
+                at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1)
+            )
+    return out
+
+
+def ref_gauss_seidel(cells: List[float], m: int) -> List[float]:
+    """One Gauss-Seidel sweep on a flat row-major m x m mesh."""
+    out = list(cells)
+
+    def at(r, c):
+        return out[(r - 1) * m + (c - 1)]
+
+    for r in range(2, m):
+        for c in range(2, m):
+            out[(r - 1) * m + (c - 1)] = 0.25 * (
+                at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1)
+            )
+    return out
+
+
+def ref_sor(cells: List[float], m: int, omega: float) -> List[float]:
+    """One SOR sweep on a flat row-major m x m mesh."""
+    out = list(cells)
+
+    def at(r, c):
+        return out[(r - 1) * m + (c - 1)]
+
+    for r in range(2, m):
+        for c in range(2, m):
+            old = at(r, c)
+            gs = 0.25 * (
+                at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1)
+            )
+            out[(r - 1) * m + (c - 1)] = old + omega * (gs - old)
+    return out
+
+
+def ref_swap(cells: List, m: int, n: int, i: int, k: int) -> List:
+    """Swap rows i and k of a flat row-major m x n matrix (pure)."""
+    out = list(cells)
+    for j in range(n):
+        out[(i - 1) * n + j], out[(k - 1) * n + j] = (
+            out[(k - 1) * n + j],
+            out[(i - 1) * n + j],
+        )
+    return out
+
+
+def ref_matmul(x: List[List[float]], y: List[List[float]], n: int):
+    """Dense n x n matrix product on 1-based nested lists."""
+    out = [[0.0] * (n + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            out[i][j] = sum(x[i][k] * y[k][j] for k in range(1, n + 1))
+    return out
+
+
+def mesh_cells(m: int, seed: int = 0) -> List[float]:
+    """A deterministic test mesh (flat row-major, 1-based logical)."""
+    return [
+        float((r * 31 + c * 17 + seed * 7) % 10)
+        for r in range(1, m + 1)
+        for c in range(1, m + 1)
+    ]
+
+
+#: Registry used by examples and benches: name -> (source, kind).
+CATALOG: Dict[str, Dict] = {
+    "wavefront": {"source": WAVEFRONT, "kind": "monolithic"},
+    "stride3": {"source": STRIDE3, "kind": "monolithic"},
+    "example2": {"source": EXAMPLE2, "kind": "monolithic",
+                 "partial": True},
+    "abc_acyclic": {"source": ABC_ACYCLIC, "kind": "monolithic"},
+    "cyclic_fallback": {"source": CYCLIC_FALLBACK, "kind": "monolithic"},
+    "forward_recurrence": {"source": FORWARD_RECURRENCE,
+                           "kind": "monolithic"},
+    "backward_recurrence": {"source": BACKWARD_RECURRENCE,
+                            "kind": "monolithic"},
+    "matmul": {"source": MATMUL, "kind": "monolithic"},
+    "squares": {"source": SQUARES, "kind": "monolithic"},
+    "pascal": {"source": PASCAL, "kind": "monolithic"},
+    "swap": {"source": SWAP, "kind": "inplace", "old": "a"},
+    "jacobi": {"source": JACOBI, "kind": "inplace", "old": "u"},
+    "sor": {"source": SOR, "kind": "inplace", "old": "u"},
+    "gauss_seidel": {"source": GAUSS_SEIDEL, "kind": "inplace", "old": "u"},
+    "saxpy_row": {"source": SAXPY_ROW, "kind": "inplace", "old": "a"},
+    "scale_row": {"source": SCALE_ROW, "kind": "inplace", "old": "a"},
+    "reverse": {"source": REVERSE, "kind": "inplace", "old": "a"},
+}

@@ -1,0 +1,77 @@
+"""A small Haskell-like surface language with array comprehensions.
+
+This package is the front end of the reproduction compiler.  It covers
+the fragment of 1990-era Haskell that Anderson & Hudak's paper uses,
+plus the paper's own extensions:
+
+* ordinary list comprehensions ``[ e | i <- [1..n], ... ]``;
+* **nested** list comprehensions ``[* e | i <- [1..n] *]`` (paper §3.1);
+* the ``:=`` subscript/value pair operator;
+* ``letrec`` and ``letrec*`` (recursive bindings in a strict context);
+* arithmetic sequences ``[a..b]`` and ``[a,a'..b]``;
+* array indexing ``a!i`` and the ``array``/``accumArray``/``bigupd``
+  primitives.
+
+Entry points: :func:`repro.lang.parser.parse_expr` /
+:func:`repro.lang.parser.parse_program`, and the AST in
+:mod:`repro.lang.ast`.
+"""
+
+from repro.lang.ast import (
+    App,
+    Append,
+    BinOp,
+    Binding,
+    Comp,
+    EnumSeq,
+    Generator,
+    Guard,
+    If,
+    Index,
+    Lam,
+    Let,
+    LetQual,
+    Lit,
+    ListExpr,
+    NestedComp,
+    Node,
+    SVPair,
+    TupleExpr,
+    UnOp,
+    Var,
+)
+from repro.lang.errors import LexError, ParseError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty
+
+__all__ = [
+    "App",
+    "Append",
+    "BinOp",
+    "Binding",
+    "Comp",
+    "EnumSeq",
+    "Generator",
+    "Guard",
+    "If",
+    "Index",
+    "Lam",
+    "Let",
+    "LetQual",
+    "LexError",
+    "ListExpr",
+    "Lit",
+    "NestedComp",
+    "Node",
+    "ParseError",
+    "SVPair",
+    "Token",
+    "TupleExpr",
+    "UnOp",
+    "Var",
+    "parse_expr",
+    "parse_program",
+    "pretty",
+    "tokenize",
+]

@@ -1,0 +1,284 @@
+"""Abstract syntax for the surface language.
+
+Every node carries an optional ``(line, col)`` position for error
+messages.  The grammar (in rough precedence order) is::
+
+    expr    ::= '\\' var+ '->' expr
+              | 'let' binds 'in' expr
+              | 'letrec' binds 'in' expr
+              | 'letrec*' binds 'in' expr
+              | 'if' expr 'then' expr 'else' expr
+              | opexpr ['where' binds]
+
+    opexpr  ::= operator expression over: := || && comparisons ++ + - * /
+                unary - application a!i
+
+    atom    ::= literal | var | '(' expr [',' expr]* ')'
+              | '[' list-ish ']' | '[*' nested-comp '*]'
+
+    list-ish ::= expr (',' expr)* | expr '..' expr
+               | expr ',' expr '..' expr | expr '|' quals
+
+    quals   ::= qual (',' | ';') qual ...
+    qual    ::= var '<-' expr | '(' var ',' var ')' '<-' expr
+              | 'let' binds | expr        -- boolean guard
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+Pos = Tuple[int, int]
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    pos: Optional[Pos] = field(
+        default=None, repr=False, compare=False, kw_only=True
+    )
+
+    def children(self) -> List["Node"]:
+        """Direct child nodes (for generic traversals)."""
+        out = []
+        for name in self.__dataclass_fields__:
+            if name == "pos":
+                continue
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                out.extend(v for v in value if isinstance(v, Node))
+        return out
+
+    def walk(self):
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class Lit(Node):
+    """A literal: integer, float, or boolean."""
+
+    value: Any = None
+
+
+@dataclass
+class Var(Node):
+    """A variable reference."""
+
+    name: str = ""
+
+
+@dataclass
+class Lam(Node):
+    """A lambda abstraction ``\\x y -> body`` (multi-parameter)."""
+
+    params: List[str] = field(default_factory=list)
+    body: Node = None
+
+
+@dataclass
+class App(Node):
+    """Application ``fn a1 a2 ...`` (n-ary, left-associated)."""
+
+    fn: Node = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Node):
+    """A binary operator application, e.g. ``+`` or ``==``."""
+
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class UnOp(Node):
+    """A unary operator application (only ``-`` and ``not``)."""
+
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass
+class If(Node):
+    """``if cond then then_ else else_``."""
+
+    cond: Node = None
+    then: Node = None
+    else_: Node = None
+
+
+@dataclass
+class TupleExpr(Node):
+    """A tuple ``(e1, ..., en)`` with n >= 2."""
+
+    items: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ListExpr(Node):
+    """An explicit list ``[e1, ..., en]`` (possibly empty)."""
+
+    items: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class EnumSeq(Node):
+    """An arithmetic sequence ``[start..stop]`` or ``[start,second..stop]``.
+
+    ``second`` is ``None`` for unit stride.  The stride is
+    ``second - start`` when given, which may be negative (the paper's
+    ``[high,dec..low]`` backward generators).
+    """
+
+    start: Node = None
+    second: Optional[Node] = None
+    stop: Node = None
+
+
+@dataclass
+class Generator(Node):
+    """A comprehension qualifier ``var <- source``."""
+
+    var: str = ""
+    source: Node = None
+
+
+@dataclass
+class Guard(Node):
+    """A boolean comprehension qualifier."""
+
+    cond: Node = None
+
+
+@dataclass
+class LetQual(Node):
+    """A ``let`` comprehension qualifier binding local names."""
+
+    binds: List["Binding"] = field(default_factory=list)
+
+
+@dataclass
+class Comp(Node):
+    """An ordinary list comprehension ``[ head | quals ]``."""
+
+    head: Node = None
+    quals: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NestedComp(Node):
+    """A nested list comprehension ``[* body | quals *]`` (paper §3.1).
+
+    Unlike :class:`Comp`, the body is a full expression that may contain
+    ``++``, ``let``/``where``, further comprehensions, and explicit
+    lists — each instance of the body is a *list*, and the generator
+    appends the instances.
+    """
+
+    body: Node = None
+    quals: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Index(Node):
+    """Array indexing ``arr ! idx``."""
+
+    arr: Node = None
+    idx: Node = None
+
+
+@dataclass
+class SVPair(Node):
+    """The ``sub := val`` subscript/value pair (paper §3)."""
+
+    sub: Node = None
+    val: Node = None
+
+
+@dataclass
+class Append(Node):
+    """List append ``left ++ right``."""
+
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class Binding(Node):
+    """A single binding ``name p1 ... pn = expr``.
+
+    Parameters desugar to a lambda, so ``f x = e`` is
+    ``Binding('f', Lam(['x'], e))`` with ``params`` retained for
+    pretty-printing.
+    """
+
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    expr: Node = None
+
+
+@dataclass
+class Let(Node):
+    """``let`` / ``letrec`` / ``letrec*`` with a body.
+
+    ``kind`` is one of ``"let"``, ``"letrec"``, ``"letrec*"``.  Plain
+    ``let`` is non-recursive; ``letrec`` ties the knot lazily;
+    ``letrec*`` additionally forces every element of each bound array
+    before the body runs (paper §2).
+    """
+
+    kind: str = "let"
+    binds: List[Binding] = field(default_factory=list)
+    body: Node = None
+
+
+def free_vars(node: Node, bound: frozenset = frozenset()) -> set:
+    """Free variables of an expression.
+
+    Used by the middle end to decide which generator indices a
+    subexpression depends on.
+    """
+    if isinstance(node, Var):
+        return set() if node.name in bound else {node.name}
+    if isinstance(node, Lam):
+        return free_vars(node.body, bound | frozenset(node.params))
+    if isinstance(node, Let):
+        names = frozenset(b.name for b in node.binds)
+        out = set()
+        if node.kind == "let":
+            for b in node.binds:
+                out |= free_vars(b.expr, bound | frozenset(b.params))
+        else:
+            for b in node.binds:
+                out |= free_vars(b.expr, bound | names | frozenset(b.params))
+        out |= free_vars(node.body, bound | names)
+        return out
+    if isinstance(node, (Comp, NestedComp)):
+        head = node.head if isinstance(node, Comp) else node.body
+        out = set()
+        inner_bound = bound
+        for qual in node.quals:
+            if isinstance(qual, Generator):
+                out |= free_vars(qual.source, inner_bound)
+                inner_bound = inner_bound | {qual.var}
+            elif isinstance(qual, Guard):
+                out |= free_vars(qual.cond, inner_bound)
+            elif isinstance(qual, LetQual):
+                for b in qual.binds:
+                    out |= free_vars(b.expr, inner_bound | frozenset(b.params))
+                inner_bound = inner_bound | {b.name for b in qual.binds}
+        out |= free_vars(head, inner_bound)
+        return out
+    out = set()
+    for child in node.children():
+        out |= free_vars(child, bound)
+    return out

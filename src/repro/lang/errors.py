@@ -1,0 +1,21 @@
+"""Front-end errors with source positions."""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """Base class for errors that point at a source location."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+
+
+class LexError(SourceError):
+    """An unrecognizable character sequence in the input."""
+
+
+class ParseError(SourceError):
+    """The token stream does not match the grammar."""

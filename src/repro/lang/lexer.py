@@ -1,0 +1,172 @@
+"""Tokenizer for the surface language.
+
+Whitespace-insensitive (no layout rule): bindings and qualifiers are
+separated with ``;`` or ``,``.  Comments run from ``--`` to end of line.
+The multi-character operators include the paper's extensions ``:=`` and
+the nested-comprehension brackets ``[*`` and ``*]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.lang.errors import LexError
+
+KEYWORDS = {
+    "let",
+    "letrec",
+    "in",
+    "if",
+    "then",
+    "else",
+    "where",
+    "True",
+    "False",
+    "not",
+}
+
+# Longest match first.
+OPERATORS = [
+    "[*",
+    "*]",
+    ":=",
+    "<-",
+    "->",
+    "..",
+    "++",
+    "==",
+    "/=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ";",
+    "|",
+    "!",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "=",
+    "\\",
+    "%",
+]
+
+
+@dataclass
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"int"``, ``"float"``, ``"ident"``, ``"kw"``,
+    ``"op"``, or ``"eof"``; ``text`` is the source text and ``value``
+    the parsed numeric value for number tokens.
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+    value: object = None
+
+    def is_op(self, *ops: str) -> bool:
+        """Whether this is an operator token with text in ``ops``."""
+        return self.kind == "op" and self.text in ops
+
+    def is_kw(self, *kws: str) -> bool:
+        """Whether this is a keyword token with text in ``kws``."""
+        return self.kind == "kw" and self.text in kws
+
+    def __repr__(self):
+        return f"Token({self.kind}:{self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(src: str) -> List[Token]:
+    """Tokenize ``src``, returning a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(src)
+
+    def error(msg):
+        raise LexError(msg, line, col)
+
+    while i < n:
+        ch = src[i]
+        # Whitespace.
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments.
+        if src.startswith("--", i):
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        # Numbers (integer or float; no leading sign — '-' is an operator).
+        if ch.isdigit():
+            start = i
+            while i < n and src[i].isdigit():
+                i += 1
+            is_float = False
+            # A '.' starts a fraction only if NOT '..' (sequence syntax).
+            if i < n and src[i] == "." and not src.startswith("..", i):
+                is_float = True
+                i += 1
+                while i < n and src[i].isdigit():
+                    i += 1
+            if i < n and src[i] in "eE":
+                j = i + 1
+                if j < n and src[j] in "+-":
+                    j += 1
+                if j < n and src[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and src[i].isdigit():
+                        i += 1
+            text = src[start:i]
+            value = float(text) if is_float else int(text)
+            kind = "float" if is_float else "int"
+            tokens.append(Token(kind, text, line, col, value))
+            col += i - start
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (src[i].isalnum() or src[i] in "_'"):
+                i += 1
+            text = src[start:i]
+            # 'letrec*' includes the star.
+            if text == "letrec" and i < n and src[i] == "*":
+                i += 1
+                text = "letrec*"
+            kind = "kw" if (text in KEYWORDS or text == "letrec*") else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Operators.
+        for op in OPERATORS:
+            if src.startswith(op, i):
+                # '[*' only opens a nested comprehension; '[ *' would be
+                # nonsense anyway, so longest-match is safe here.
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,73 @@
+"""Rendering of dependence graphs and schedules.
+
+Regenerates the paper's §5 figures as ASCII (and Graphviz dot):
+clauses as numbered vertices, direction-vector-labeled edges, plus a
+compact rendering of the scheduler's output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.dependence import ANTI, FLOW, OUTPUT, DepEdge
+from repro.core.schedule import Schedule, ScheduledClause, ScheduledLoop
+
+_KIND_MARK = {FLOW: "", ANTI: " anti", OUTPUT: " output"}
+
+
+def render_edges(edges: Iterable[DepEdge]) -> str:
+    """One line per edge, paper style: ``1 -> 2 (<)``."""
+    lines = []
+    for edge in edges:
+        dv = ",".join(edge.direction)
+        lines.append(
+            f"{edge.src.index + 1} -> {edge.dst.index + 1} "
+            f"({dv}){_KIND_MARK[edge.kind]}"
+        )
+    return "\n".join(lines)
+
+
+def render_dot(edges: Iterable[DepEdge], name: str = "deps") -> str:
+    """Graphviz dot source for the dependence graph."""
+    lines = [f"digraph {name} {{"]
+    seen = set()
+    styles = {FLOW: "solid", ANTI: "dashed", OUTPUT: "dotted"}
+    for edge in edges:
+        for clause in (edge.src, edge.dst):
+            if clause.index not in seen:
+                seen.add(clause.index)
+                lines.append(
+                    f'  c{clause.index + 1} [label="clause {clause.index + 1}"];'
+                )
+    for edge in edges:
+        dv = ",".join(edge.direction)
+        lines.append(
+            f"  c{edge.src.index + 1} -> c{edge.dst.index + 1} "
+            f'[label="({dv})", style={styles[edge.kind]}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: Schedule) -> str:
+    """Indented rendering of passes, directions, and clause order."""
+    lines: List[str] = []
+    if not schedule.ok:
+        lines.append("UNSCHEDULABLE (thunk fallback):")
+        for failure in schedule.failures:
+            lines.append(f"  - {failure}")
+
+    def walk(items, indent):
+        pad = "  " * indent
+        for item in items:
+            if isinstance(item, ScheduledClause):
+                lines.append(f"{pad}compute clause {item.clause.index + 1}")
+            elif isinstance(item, ScheduledLoop):
+                lines.append(
+                    f"{pad}loop {item.loop.var} "
+                    f"[{item.direction}]"
+                )
+                walk(item.body, indent + 1)
+
+    walk(schedule.items, 0)
+    return "\n".join(lines)

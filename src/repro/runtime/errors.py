@@ -1,0 +1,55 @@
+"""Error hierarchy for the array runtimes.
+
+The paper treats several situations as ``bottom`` (semantic undefined):
+demanding an element that received no definition, demanding an element
+whose computation depends on itself, writing two values to the same
+element of an ordinary monolithic array, and indexing outside the
+array's bounds.  In a Python reproduction each becomes an exception so
+tests and benchmarks can observe exactly which kind of bottom occurred.
+"""
+
+
+class ArrayError(Exception):
+    """Base class for all array runtime errors."""
+
+
+class BoundsError(ArrayError, IndexError):
+    """A subscript fell outside the declared array bounds."""
+
+    def __init__(self, subscript, bounds):
+        self.subscript = subscript
+        self.bounds = bounds
+        super().__init__(f"subscript {subscript!r} out of bounds {bounds!r}")
+
+
+class WriteCollisionError(ArrayError):
+    """Two subscript/value pairs defined the same element (paper §7).
+
+    Ordinary monolithic arrays admit exactly one definition per element;
+    a second definition is an error the compiler tries to rule out at
+    compile time with output-dependence analysis.
+    """
+
+    def __init__(self, subscript):
+        self.subscript = subscript
+        super().__init__(f"element {subscript!r} defined more than once")
+
+
+class UndefinedElementError(ArrayError):
+    """An element with no definition (an "empty", paper §4) was demanded."""
+
+    def __init__(self, subscript):
+        self.subscript = subscript
+        super().__init__(f"element {subscript!r} has no definition")
+
+
+class BlackHoleError(ArrayError):
+    """A thunk demanded its own value: a genuine cyclic data dependence.
+
+    This is the run-time manifestation of a dependence cycle the
+    scheduler could not break — e.g. the ``A -> B (<), B -> A (>)``
+    example of paper §8.1.2 evaluated at an index where the cycle closes.
+    """
+
+    def __init__(self, what="value"):
+        super().__init__(f"cyclic dependence: {what} depends on itself")

@@ -1,0 +1,47 @@
+"""``force_elements`` and ``letrec*`` (paper §2).
+
+``force_elements a`` demands every element of ``a`` and returns a
+strictified array; if any element is bottom the result is bottom.  The
+paper's ``letrec*`` construct is then::
+
+    (letrec* x = E0 in E1)  =  (\\x. E1) (force_elements (fix (\\x. E0)))
+
+i.e. build the recursive non-strict array, force all elements, and only
+hand the strict result to the body.  We expose :func:`letrec_star` with
+exactly that shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Tuple
+
+from repro.runtime.nonstrict import NonStrictArray, recursive_array
+from repro.runtime.strict import StrictArray
+from repro.runtime.bounds import Subscript
+
+
+def force_elements(a: NonStrictArray) -> StrictArray:
+    """Force every element of ``a``, returning a strict array.
+
+    ``(force_elements a)!i`` is bottom if *any* element of ``a`` is
+    bottom; otherwise it equals ``a!i``.  Forcing proceeds in row-major
+    order, but because each demand transitively demands its
+    dependencies, any safe order gives the same result — that is the
+    point of non-strict semantics.
+    """
+    return StrictArray(a.bounds, a.assocs())
+
+
+def letrec_star(
+    bounds,
+    build: Callable[[Any], Iterable[Tuple[Subscript, Any]]],
+) -> StrictArray:
+    """Define a recursive array in a strict context (paper's ``letrec*``).
+
+    ``build`` is as for :func:`repro.runtime.nonstrict.recursive_array`;
+    the recursive knot is tied non-strictly, then every element is
+    forced before the array escapes.  Downstream code therefore sees a
+    plain strict array — the guarantee the compiler exploits to drop
+    thunks.
+    """
+    return force_elements(recursive_array(bounds, build))

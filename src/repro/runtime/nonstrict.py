@@ -1,0 +1,141 @@
+"""Non-strict monolithic arrays (Haskell's ``array``).
+
+A non-strict monolithic array is created from bounds and a list of
+subscript/value pairs.  The *list structure* of the pairs is evaluated
+eagerly (so collisions are detected at construction), but the element
+*values* are stored unevaluated as thunks and only forced on demand via
+``a ! i``.  This is the semantics Haskell's array comprehensions give
+to recursively defined arrays: the wavefront example of paper §3 works
+because demanding ``a!(i,j)`` demands its neighbours first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Tuple
+
+from repro.runtime.bounds import Bounds, Subscript
+from repro.runtime.errors import UndefinedElementError, WriteCollisionError
+from repro.runtime.thunks import Thunk, force
+
+#: Marker for an element that received no subscript/value pair.
+_EMPTY = object()
+
+
+class NonStrictArray:
+    """A non-strict monolithic array.
+
+    Parameters
+    ----------
+    bounds:
+        A :class:`Bounds`, or a ``(low, high)`` pair.
+    assocs:
+        Iterable of ``(subscript, value)`` pairs.  Values may be plain
+        values, :class:`Thunk` objects, or zero-argument callables
+        (which are wrapped in thunks).  Each in-bounds subscript must
+        appear at most once; a repeat raises
+        :class:`WriteCollisionError` immediately, since write collisions
+        are errors for ordinary monolithic arrays (paper §7).
+
+    Elements never given a definition are *empties*: demanding one
+    raises :class:`UndefinedElementError` (paper §4).
+    """
+
+    __slots__ = ("bounds", "_cells")
+
+    def __init__(self, bounds, assocs: Iterable[Tuple[Subscript, Any]]):
+        self.bounds = bounds if isinstance(bounds, Bounds) else Bounds(*bounds)
+        self._cells = [_EMPTY] * self.bounds.size()
+        for subscript, value in assocs:
+            offset = self.bounds.index(subscript)
+            if self._cells[offset] is not _EMPTY:
+                raise WriteCollisionError(subscript)
+            if callable(value) and not isinstance(value, Thunk):
+                value = Thunk(value)
+            self._cells[offset] = value
+
+    def at(self, subscript: Subscript) -> Any:
+        """Demand the element at ``subscript`` (Haskell ``a ! i``)."""
+        offset = self.bounds.index(subscript)
+        cell = self._cells[offset]
+        if cell is _EMPTY:
+            raise UndefinedElementError(subscript)
+        value = force(cell)
+        self._cells[offset] = value
+        return value
+
+    def __getitem__(self, subscript: Subscript) -> Any:
+        return self.at(subscript)
+
+    def is_defined(self, subscript: Subscript) -> bool:
+        """Whether the element has a definition (without forcing it)."""
+        return self._cells[self.bounds.index(subscript)] is not _EMPTY
+
+    def is_evaluated(self, subscript: Subscript) -> bool:
+        """Whether the element has already been forced to a value."""
+        cell = self._cells[self.bounds.index(subscript)]
+        return cell is not _EMPTY and not isinstance(cell, Thunk)
+
+    def indices(self):
+        """All subscripts of the array, in row-major order."""
+        return self.bounds.range()
+
+    def assocs(self):
+        """Yield ``(subscript, value)``, forcing every element."""
+        for subscript in self.bounds.range():
+            yield subscript, self.at(subscript)
+
+    def elems(self):
+        """Yield every element value in row-major order (forcing)."""
+        for subscript in self.bounds.range():
+            yield self.at(subscript)
+
+    def to_list(self):
+        """All elements as a list (forcing everything)."""
+        return list(self.elems())
+
+    def __len__(self):
+        return self.bounds.size()
+
+    def __repr__(self):
+        return f"NonStrictArray(bounds={self.bounds!r}, size={len(self)})"
+
+
+def recursive_array(
+    bounds,
+    build: Callable[["NonStrictArray"], Iterable[Tuple[Subscript, Any]]],
+) -> NonStrictArray:
+    """Create a non-strict array whose definition may refer to itself.
+
+    ``build`` receives the array being constructed and returns its
+    subscript/value pairs; pair values that *read* the array must be
+    wrapped as callables so the read is delayed::
+
+        a = recursive_array((1, n), lambda a: (
+            [(1, 1)] +
+            [(i, (lambda i=i: a[i - 1] + 1)) for i in range(2, n + 1)]
+        ))
+
+    This is the Python rendering of Haskell's ``letrec a = array ...``.
+    """
+    cell = []
+
+    def self_ref():
+        return cell[0]
+
+    class _Proxy:
+        """Stand-in for the array inside its own definition."""
+
+        def __getitem__(self, subscript):
+            return self_ref().at(subscript)
+
+        def at(self, subscript):
+            return self_ref().at(subscript)
+
+        @property
+        def bounds(self):
+            return self_ref().bounds
+
+    proxy = _Proxy()
+    result = NonStrictArray(bounds, build(proxy))
+    cell.append(result)
+    return result

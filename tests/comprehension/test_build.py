@@ -1,0 +1,202 @@
+"""Loop-IR construction and normalization (paper §6)."""
+
+import pytest
+
+from repro.comprehension.build import (
+    BuildError,
+    build_array_comp,
+    find_array_comp,
+)
+from repro.comprehension.loopir import LoopNest, SVClause
+from repro.core.affine import Affine
+from repro.lang.parser import parse_expr
+
+
+def comp_of(src, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(parse_expr(src))
+    return build_array_comp(name, bounds_ast, pairs_ast, params)
+
+
+class TestFindArrayComp:
+    def test_bare_application(self):
+        name, bounds, pairs = find_array_comp(
+            parse_expr("array (1,3) [ i := 0 | i <- [1..3] ]")
+        )
+        assert name == ""
+
+    def test_letrec_binding(self):
+        name, _, _ = find_array_comp(
+            parse_expr("letrec* v = array (1,3) [ i := 0 | i <- [1..3] ] in v")
+        )
+        assert name == "v"
+
+    def test_rejects_non_array(self):
+        with pytest.raises(BuildError):
+            find_array_comp(parse_expr("1 + 2"))
+
+
+class TestNormalization:
+    def test_unit_loop_already_normalized(self):
+        comp = comp_of("array (1,10) [ i := 0 | i <- [1..10] ]")
+        loop = comp.clauses[0].loops[0]
+        assert loop.info.count == 10
+        assert loop.step == 1
+        # i = 1 + (t - 1) = t.
+        assert comp.clauses[0].subscripts[0].coeff(loop.info.var) == 1
+        assert comp.clauses[0].subscripts[0].const == 0
+
+    def test_offset_start(self):
+        comp = comp_of("array (2,11) [ i := 0 | i <- [2..11] ]")
+        clause = comp.clauses[0]
+        loop = clause.loops[0]
+        assert loop.info.count == 10
+        # i = 2 + (t-1) = 1 + t.
+        assert clause.subscripts[0].const == 1
+
+    def test_strided_generator(self):
+        comp = comp_of("array (1,20) [ i := 0 | i <- [2,4..20] ]")
+        clause = comp.clauses[0]
+        loop = clause.loops[0]
+        assert loop.step == 2
+        assert loop.info.count == 10
+        # i = 2 + 2*(t-1) = 2t.
+        assert clause.subscripts[0].coeff(loop.info.var) == 2
+        assert clause.subscripts[0].const == 0
+
+    def test_backward_generator(self):
+        comp = comp_of("array (1,10) [ i := 0 | i <- [10,9..1] ]")
+        clause = comp.clauses[0]
+        loop = clause.loops[0]
+        assert loop.step == -1
+        assert loop.info.count == 10
+        # i = 10 - (t-1) = 11 - t.
+        assert clause.subscripts[0].coeff(loop.info.var) == -1
+        assert clause.subscripts[0].const == 11
+
+    def test_symbolic_bounds_unknown_count(self):
+        comp = comp_of("array (1,n) [ i := 0 | i <- [1..n] ]")
+        assert comp.clauses[0].loops[0].info.count is None
+        assert comp.bounds is None
+
+    def test_params_make_counts_known(self):
+        comp = comp_of("array (1,n) [ i := 0 | i <- [1..n] ]", {"n": 42})
+        assert comp.clauses[0].loops[0].info.count == 42
+        assert comp.bounds.size() == 42
+
+    def test_triangular_nest_inner_count_unknown(self):
+        comp = comp_of(
+            "array (1,100) [ 10*i + j := 0 | i <- [1..9], j <- [1..i] ]"
+        )
+        clause = comp.clauses[0]
+        assert clause.loops[0].info.count == 9
+        assert clause.loops[1].info.count is None
+        # The subscript is still affine in normalized indices.
+        assert clause.subscripts is not None
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(BuildError):
+            comp_of("array (1,10) [ i := 0 | i <- [1,1..10] ]")
+
+    def test_non_sequence_generator_rejected(self):
+        with pytest.raises(BuildError):
+            comp_of("array (1,3) [ i := 0 | i <- xs ]")
+
+    def test_empty_range_count_zero(self):
+        comp = comp_of("array (1,3) [ i := 0 | i <- [3..1] ]")
+        assert comp.clauses[0].loops[0].info.count == 0
+
+
+class TestStructure:
+    def test_wavefront_shape(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 5})
+        assert len(comp.roots) == 3
+        assert all(isinstance(r, LoopNest) for r in comp.roots)
+        assert len(comp.clauses) == 3
+        assert comp.rank == 2
+        interior = comp.clauses[2]
+        assert [loop.var for loop in interior.loops] == ["i", "j"]
+        assert len(interior.reads) == 3
+
+    def test_nested_comprehension_shape(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        comp = comp_of(STRIDE3_SCHEMATIC)
+        # One outer loop entity containing three clauses.
+        assert len(comp.roots) == 1
+        outer = comp.roots[0]
+        assert isinstance(outer, LoopNest)
+        assert len(outer.children) == 3
+        assert all(isinstance(c, SVClause) for c in outer.children)
+
+    def test_clause_numbering_in_source_order(self):
+        from repro.kernels import EXAMPLE2
+
+        comp = comp_of(EXAMPLE2)
+        assert [c.index for c in comp.clauses] == [0, 1, 2]
+        assert comp.clause(1).label == "clause 1"
+
+    def test_guards_attached(self):
+        comp = comp_of(
+            "array (1,10) [ i := 0 | i <- [1..10], i > 3, i < 8 ]"
+        )
+        assert len(comp.clauses[0].guards) == 2
+
+    def test_if_at_list_level_becomes_guards(self):
+        src = """
+        array (1,10)
+          [* if i > 5 then [ i := 1 ] else [ i := 0 ] | i <- [1..10] *]
+        """
+        comp = comp_of(src)
+        assert len(comp.clauses) == 2
+        assert len(comp.clauses[0].guards) == 1
+        assert len(comp.clauses[1].guards) == 1
+
+    def test_lets_attached(self):
+        comp = comp_of(
+            "array (1,5) [ i := v + 1 | i <- [1..5], let v = i * 2 ]"
+        )
+        clause = comp.clauses[0]
+        assert [b.name for b in clause.lets] == ["v"]
+
+    def test_where_in_nested_body(self):
+        src = """
+        array (1,10)
+          [* ([ 2*i := v ] ++ [ 2*i-1 := v + 1 ] where v = i * 7)
+           | i <- [1..5] *]
+        """
+        comp = comp_of(src)
+        assert len(comp.clauses) == 2
+        assert all(c.lets for c in comp.clauses)
+
+    def test_reads_extracted_from_guards_and_lets(self):
+        src = """
+        array (1,5)
+          [ i := v | i <- [1..5], u!i > 0, let v = w!(i+1) ]
+        """
+        comp = comp_of(src)
+        arrays = {r.array for r in comp.clauses[0].reads}
+        assert arrays == {"u", "w"}
+
+    def test_non_affine_write_subscript(self):
+        comp = comp_of("array (1,10) [* [ i*i := 1 ] | i <- [1..3] *]")
+        assert comp.clauses[0].subscripts is None
+
+    def test_non_affine_read_subscript(self):
+        comp = comp_of(
+            "array (1,10) [* [ i := a!(i*i) ] | i <- [1..3] *]"
+        )
+        read = comp.clauses[0].reads[0]
+        assert read.subscripts is None
+        assert comp.clauses[0].has_opaque_reads("a")
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(BuildError):
+            comp_of("array ((1,1),(3,3)) [ i := 0 | i <- [1..3] ]")
+
+    def test_iter_loops(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 5})
+        assert len(list(comp.iter_loops())) == 4

@@ -1,0 +1,126 @@
+"""Tests for affine expressions and extraction from syntax."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.affine import Affine, NonAffineError, affine_from_ast
+from repro.lang.parser import parse_expr
+
+
+class TestAlgebra:
+    def test_constant(self):
+        a = Affine.constant(5)
+        assert a.is_constant()
+        assert a.evaluate({}) == 5
+
+    def test_var(self):
+        a = Affine.var("i", 3)
+        assert a.coeff("i") == 3
+        assert a.evaluate({"i": 4}) == 12
+
+    def test_add_sub(self):
+        a = Affine.var("i") + Affine.var("j", 2) + 1
+        b = a - Affine.var("i")
+        assert b.coeff("i") == 0
+        assert b.coeff("j") == 2
+        assert b.const == 1
+
+    def test_zero_coefficients_dropped(self):
+        a = Affine.var("i") - Affine.var("i")
+        assert a.coeffs == {}
+        assert a == Affine.constant(0)
+
+    def test_scale_and_mul(self):
+        a = (Affine.var("i") + 2).scale(3)
+        assert a.coeff("i") == 3 and a.const == 6
+        assert Affine.constant(4) * Affine.var("i") == Affine.var("i", 4)
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(NonAffineError):
+            Affine.var("i") * Affine.var("j")
+
+    def test_neg_rsub(self):
+        a = 5 - Affine.var("i")
+        assert a.coeff("i") == -1 and a.const == 5
+
+    def test_substitute(self):
+        a = Affine.var("i", 2) + 1
+        b = a.substitute({"i": Affine.var("t") + 3})
+        assert b.coeff("t") == 2 and b.const == 7
+
+    def test_rename(self):
+        a = Affine.var("i") + Affine.var("j", -1)
+        b = a.rename({"i": "x"})
+        assert b.coeff("x") == 1 and b.coeff("j") == -1
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(KeyError):
+            Affine.var("i").evaluate({})
+
+    def test_hash_eq(self):
+        assert len({Affine.var("i") + 1, Affine.var("i") + 1}) == 1
+
+
+class TestExtraction:
+    def extract(self, src, params=None):
+        return affine_from_ast(parse_expr(src), params or {})
+
+    def test_linear_forms(self):
+        a = self.extract("3*i - 1")
+        assert a.coeff("i") == 3 and a.const == -1
+
+    def test_nested_parens(self):
+        a = self.extract("3*(i-1)")
+        assert a.coeff("i") == 3 and a.const == -3
+
+    def test_both_sides_multiplication(self):
+        assert self.extract("i*2").coeff("i") == 2
+        assert self.extract("2*i").coeff("i") == 2
+
+    def test_params_become_constants(self):
+        a = self.extract("n - i", {"n": 10})
+        assert a.const == 10 and a.coeff("i") == -1
+
+    def test_unknown_var_kept_symbolic(self):
+        a = self.extract("n - i")
+        assert a.coeff("n") == 1
+
+    def test_unary_minus(self):
+        assert self.extract("-i").coeff("i") == -1
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(NonAffineError):
+            self.extract("i * j")
+        with pytest.raises(NonAffineError):
+            self.extract("i / 2")
+        with pytest.raises(NonAffineError):
+            self.extract("a!i + 1")
+        with pytest.raises(NonAffineError):
+            self.extract("2.5")
+
+
+@given(
+    c1=st.integers(-9, 9), c2=st.integers(-9, 9),
+    k1=st.integers(-9, 9), k2=st.integers(-9, 9),
+    i=st.integers(-10, 10), j=st.integers(-10, 10),
+)
+def test_affine_evaluation_homomorphism(c1, c2, k1, k2, i, j):
+    a = Affine(c1, {"i": k1})
+    b = Affine(c2, {"j": k2})
+    env = {"i": i, "j": j}
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+    assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+    assert a.scale(3).evaluate(env) == 3 * a.evaluate(env)
+    assert (-a).evaluate(env) == -a.evaluate(env)
+
+
+@given(
+    c=st.integers(-9, 9), k=st.integers(-9, 9), t=st.integers(-9, 9),
+    s=st.integers(-9, 9), value=st.integers(-10, 10),
+)
+def test_substitution_commutes_with_evaluation(c, k, t, s, value):
+    a = Affine(c, {"i": k})
+    replacement = Affine(t, {"u": s})
+    substituted = a.substitute({"i": replacement})
+    direct = a.evaluate({"i": replacement.evaluate({"u": value})})
+    assert substituted.evaluate({"u": value}) == direct

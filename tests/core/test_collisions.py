@@ -1,0 +1,134 @@
+"""Write-collision and empties analysis (paper §4, §7)."""
+
+from repro.comprehension.build import build_array_comp, find_array_comp
+from repro.core.collisions import (
+    CERTAIN,
+    NONE,
+    POSSIBLE,
+    analyze_collisions,
+    analyze_empties,
+)
+from repro.lang.parser import parse_expr
+
+
+def comp_of(src, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(parse_expr(src))
+    return build_array_comp(name, bounds_ast, pairs_ast, params)
+
+
+class TestCollisions:
+    def test_injective_writes_proved_clean(self):
+        comp = comp_of("array (1,10) [ i := 0 | i <- [1..10] ]")
+        assert analyze_collisions(comp).status == NONE
+
+    def test_stride3_clean(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        comp = comp_of(STRIDE3_SCHEMATIC)
+        report = analyze_collisions(comp)
+        assert report.status == NONE
+        assert not report.checks_needed
+
+    def test_wavefront_clean(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 10})
+        assert analyze_collisions(comp).status == NONE
+
+    def test_certain_self_collision(self):
+        comp = comp_of("array (1,10) [* [ 5 := i ] | i <- [1..3] *]")
+        report = analyze_collisions(comp)
+        assert report.status == CERTAIN
+        assert report.findings[0].witness is not None
+
+    def test_certain_cross_clause_collision(self):
+        src = """
+        array (1,15)
+          ([ i := 0 | i <- [1..10] ] ++
+           [ i + 4 := 1 | i <- [1..10] ])
+        """
+        report = analyze_collisions(comp_of(src))
+        assert report.status == CERTAIN
+
+    def test_guard_downgrades_certain_to_possible(self):
+        # The guard may exclude the witness at run time: analysis
+        # ignores guards, so it must report POSSIBLE, not CERTAIN.
+        src = """
+        array (1,10)
+          [* [ (if i < 3 then i else i - 2) := i ] | i <- [1..4] *]
+        """
+        comp = comp_of(src)
+        # A non-affine (conditional) subscript: pessimistic POSSIBLE.
+        report = analyze_collisions(comp)
+        assert report.status == POSSIBLE
+
+    def test_guarded_clause_possible(self):
+        src = """
+        array (1,10)
+          ([ i := 0 | i <- [1..5], i > 2 ] ++
+           [ i := 1 | i <- [1..5], i <= 2 ])
+        """
+        report = analyze_collisions(comp_of(src))
+        assert report.status == POSSIBLE  # guards hide the disjointness
+
+    def test_symbolic_bounds_possible(self):
+        # Unknown trip counts: cannot run the exact test.
+        src = "array (1,100) ([ i := 0 | i <- [1..n] ] ++ [ i + n := 1 | i <- [1..n] ])"
+        report = analyze_collisions(comp_of(src))
+        assert report.status == POSSIBLE
+
+
+class TestEmpties:
+    def test_exact_cover_proved(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 10})
+        report = analyze_empties(comp)
+        assert report.status == NONE
+        assert report.total_pairs == report.array_size == 100
+
+    def test_stride3_proved(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        comp = comp_of(STRIDE3_SCHEMATIC)
+        report = analyze_empties(comp)
+        assert report.status == NONE
+        assert report.total_pairs == 300
+
+    def test_undercount_certain(self):
+        comp = comp_of("array (1,10) [ i := 0 | i <- [1..9] ]")
+        report = analyze_empties(comp)
+        assert report.status == CERTAIN
+        assert report.total_pairs == 9 and report.array_size == 10
+
+    def test_out_of_bounds_write_detected(self):
+        comp = comp_of("array (1,10) [ i + 5 := 0 | i <- [1..10] ]")
+        report = analyze_empties(comp)
+        assert report.status != NONE
+        assert any("out of bounds" in r for r in report.reasons)
+
+    def test_guards_block_counting(self):
+        comp = comp_of(
+            "array (1,10) [ i := 0 | i <- [1..10], i > 0 ]"
+        )
+        report = analyze_empties(comp)
+        assert report.status == POSSIBLE
+
+    def test_symbolic_size_possible(self):
+        comp = comp_of("array (1,n) [ i := 0 | i <- [1..n] ]")
+        report = analyze_empties(comp)
+        assert report.status == POSSIBLE
+
+    def test_collisions_make_empties_possible(self):
+        # Right pair count but colliding writes: some element empty.
+        comp = comp_of("array (1,3) [* [ mod i 2 + 1 := i ] | i <- [1..3] *]")
+        report = analyze_empties(comp)
+        assert report.status != NONE
+
+    def test_reuses_collision_report(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 6})
+        collision = analyze_collisions(comp)
+        report = analyze_empties(comp, collision)
+        assert report.status == NONE

@@ -1,0 +1,157 @@
+"""Dependence-edge construction on real comprehensions (paper §5)."""
+
+from repro.comprehension.build import build_array_comp, find_array_comp
+from repro.core.dependence import (
+    ANTI,
+    FLOW,
+    OUTPUT,
+    anti_edges,
+    flow_edges,
+    output_edges,
+)
+from repro.lang.parser import parse_expr
+
+
+def comp_of(src, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(parse_expr(src))
+    return build_array_comp(name, bounds_ast, pairs_ast, params)
+
+
+def edge_set(edges):
+    return {(e.src.index + 1, e.dst.index + 1, e.direction) for e in edges}
+
+
+class TestFlowEdges:
+    def test_section5_example1(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        comp = comp_of(STRIDE3_SCHEMATIC)
+        edges = flow_edges(comp)
+        assert edge_set(edges) == {
+            (1, 2, ("<",)),
+            (1, 3, ("=",)),
+        }
+        assert all(e.kind == FLOW for e in edges)
+
+    def test_section5_example2(self):
+        from repro.kernels import EXAMPLE2
+
+        comp = comp_of(EXAMPLE2)
+        assert edge_set(flow_edges(comp)) == {
+            (2, 1, ("=", ">")),
+            (1, 2, ("<", ">")),
+            (2, 3, ("<",)),
+        }
+
+    def test_wavefront(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 10})
+        edges = edge_set(flow_edges(comp))
+        assert (3, 3, ("<", "=")) in edges
+        assert (3, 3, ("=", "<")) in edges
+        assert (3, 3, ("<", "<")) in edges
+        # Border clauses feed the interior: loop-independent edges with
+        # no shared loops.
+        assert (1, 3, ()) in edges
+        assert (2, 3, ()) in edges
+
+    def test_no_reads_no_edges(self):
+        comp = comp_of("array (1,5) [ i := i | i <- [1..5] ]")
+        assert flow_edges(comp) == []
+
+    def test_edge_level(self):
+        from repro.kernels import WAVEFRONT
+
+        comp = comp_of(WAVEFRONT, {"n": 10})
+        for edge in flow_edges(comp):
+            first_noneq = edge.level
+            for symbol in edge.direction[:first_noneq]:
+                assert symbol == "="
+
+    def test_pessimistic_star_edge_for_nonaffine_read(self):
+        src = """
+        letrec a = array (1,10)
+          [* [ i := a!(i * i) ] | i <- [1..10] *]
+        in a
+        """
+        comp = comp_of(src)
+        edges = flow_edges(comp)
+        assert any("*" in e.direction for e in edges)
+
+
+class TestOutputEdges:
+    def test_no_collisions_in_stride3(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        comp = comp_of(STRIDE3_SCHEMATIC)
+        assert output_edges(comp) == []
+
+    def test_certain_collision_detected(self):
+        comp = comp_of("array (1,10) [* [ 5 := i ] | i <- [1..3] *]")
+        edges = output_edges(comp)
+        assert len(edges) == 1
+        assert edges[0].kind == OUTPUT
+
+    def test_cross_clause_collision(self):
+        src = """
+        array (1,20)
+          ([ i := 0 | i <- [1..10] ] ++
+           [ i + 5 := 1 | i <- [1..10] ])
+        """
+        comp = comp_of(src)
+        assert len(output_edges(comp)) == 1
+
+    def test_self_collision_not_duplicated(self):
+        comp = comp_of(
+            "array (1,30) [* [ mod0 := i ] | i <- [1..3] *]"
+            .replace("mod0", "5")
+        )
+        assert len(output_edges(comp)) == 1
+
+
+class TestAntiEdges:
+    def test_swap_cycle(self):
+        from repro.kernels import SWAP
+
+        comp = comp_of(SWAP, {"m": 6, "n": 8, "i": 2, "k": 5})
+        edges = anti_edges(comp, "a")
+        assert edge_set(edges) == {(1, 2, ("=",)), (2, 1, ("=",))}
+        assert all(e.kind == ANTI and e.breakable for e in edges)
+
+    def test_jacobi_four_self_edges(self):
+        from repro.kernels import JACOBI
+
+        comp = comp_of(JACOBI, {"m": 10})
+        assert edge_set(anti_edges(comp, "u")) == {
+            (1, 1, ("<", "=")),
+            (1, 1, (">", "=")),
+            (1, 1, ("=", "<")),
+            (1, 1, ("=", ">")),
+        }
+
+    def test_gauss_seidel_matches_paper(self):
+        # Paper §9: "true dependence edges (<,=) and (=,<) and
+        # antidependence edges (<,=) and (=,<)".
+        from repro.kernels import GAUSS_SEIDEL
+
+        comp = comp_of(GAUSS_SEIDEL, {"m": 10})
+        assert edge_set(flow_edges(comp)) == {
+            (1, 1, ("<", "=")), (1, 1, ("=", "<")),
+        }
+        assert edge_set(anti_edges(comp, "u")) == {
+            (1, 1, ("<", "=")), (1, 1, ("=", "<")),
+        }
+
+    def test_same_instance_same_clause_anti_dropped(self):
+        # Reading the cell you are about to overwrite in the same
+        # instance is always safe: the value is computed first.
+        src = "array (1,10) [* i := a!i + 1 | i <- [1..10] *]"
+        comp = comp_of(src)
+        assert anti_edges(comp, "a") == []
+
+    def test_scale_row_no_anti(self):
+        from repro.kernels import SCALE_ROW
+
+        comp = comp_of(SCALE_ROW, {"m": 5, "n": 6, "i": 3, "s": 2})
+        assert anti_edges(comp, "a") == []

@@ -1,0 +1,138 @@
+"""Exact bounded-integer-solution test: completeness vs brute force."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affine import Affine
+from repro.core.exact import exact_test
+from repro.core.subscripts import LoopInfo, Reference, build_equations
+
+
+def equations(f_dims, g_dims, loops):
+    f = Reference("a", tuple(f_dims), loops, is_write=True)
+    g = Reference("a", tuple(g_dims), loops)
+    return build_equations(f, g)
+
+
+class TestWitnesses:
+    def test_simple_witness(self):
+        i = LoopInfo("i", 10)
+        eqs = equations([Affine.var("i")], [Affine(-1, {"i": 1})], (i,))
+        witness = exact_test(eqs)
+        assert witness is not None
+        assert witness["x:i"] == witness["y:i"] - 1
+
+    def test_no_solution(self):
+        i = LoopInfo("i", 10)
+        eqs = equations([Affine.var("i", 2)], [Affine(1, {"i": 2})], (i,))
+        assert exact_test(eqs) is None
+
+    def test_bounded_out_of_reach(self):
+        i = LoopInfo("i", 5)
+        eqs = equations([Affine.var("i")], [Affine(100, {"i": 1})], (i,))
+        assert exact_test(eqs) is None
+
+    def test_direction_constrained(self):
+        i = LoopInfo("i", 10)
+        eqs = equations([Affine.var("i")], [Affine(-2, {"i": 1})], (i,))
+        assert exact_test(eqs, ("<",)) is not None
+        assert exact_test(eqs, ("=",)) is None
+        assert exact_test(eqs, (">",)) is None
+
+    def test_multidimensional_joint(self):
+        # Dimension-wise each equation is solvable, but not jointly:
+        # f = (i, i), g = (i+1, i): dim0 needs x = y+1, dim1 x = y.
+        i = LoopInfo("i", 10)
+        eqs = equations(
+            [Affine.var("i"), Affine.var("i")],
+            [Affine(1, {"i": 1}), Affine.var("i")],
+            (i,),
+        )
+        assert exact_test(eqs) is None  # joint solve is stronger
+
+    def test_unshared_loops(self):
+        i = LoopInfo("i", 3)
+        j = LoopInfo("j", 3)
+        f = Reference("a", (Affine.var("i"),), (i,), is_write=True)
+        g = Reference("a", (Affine(1, {"j": 1}),), (j,))
+        eqs = build_equations(f, g)
+        witness = exact_test(eqs)
+        assert witness is not None
+        # f at x equals g at y: x = y + 1.
+        assert witness["u:i"] == witness["u:j"] + 1
+
+    def test_unknown_counts_raise(self):
+        i = LoopInfo("i", None)
+        eqs = equations([Affine.var("i")], [Affine.var("i")], (i,))
+        with pytest.raises(ValueError):
+            exact_test(eqs)
+
+    def test_witness_satisfies_equations(self):
+        i = LoopInfo("i", 7)
+        j = LoopInfo("j", 5)
+        eqs = equations(
+            [Affine(2, {"i": 3, "j": -1})],
+            [Affine(0, {"i": 1, "j": 2})],
+            (i, j),
+        )
+        witness = exact_test(eqs)
+        if witness is not None:
+            lhs = 2 + 3 * witness["x:i"] - witness["x:j"]
+            rhs = witness["y:i"] + 2 * witness["y:j"]
+            assert lhs == rhs
+
+    def test_empty_equation_list(self):
+        assert exact_test([]) == {}
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    a0=st.integers(-6, 6), a1=st.integers(-4, 4),
+    b0=st.integers(-6, 6), b1=st.integers(-4, 4),
+    m=st.integers(1, 7),
+    d=st.sampled_from(["*", "<", "=", ">"]),
+)
+def test_exact_equals_brute_force_1d(a0, a1, b0, b1, m, d):
+    i = LoopInfo("i", m)
+    eqs = equations([Affine(a0, {"i": a1})], [Affine(b0, {"i": b1})], (i,))
+
+    def ok(x, y):
+        return {"*": True, "<": x < y, "=": x == y, ">": x > y}[d]
+
+    exists = any(
+        a0 + a1 * x == b0 + b1 * y
+        for x in range(1, m + 1)
+        for y in range(1, m + 1)
+        if ok(x, y)
+    )
+    witness = exact_test(eqs, (d,))
+    assert (witness is not None) == exists
+    if witness:
+        x, y = witness["x:i"], witness["y:i"]
+        assert a0 + a1 * x == b0 + b1 * y
+        assert ok(x, y)
+        assert 1 <= x <= m and 1 <= y <= m
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coeffs=st.tuples(*[st.integers(-3, 3) for _ in range(6)]),
+    m1=st.integers(1, 4), m2=st.integers(1, 4),
+)
+def test_exact_equals_brute_force_2d(coeffs, m1, m2):
+    a0, a1, a2, b0, b1, b2 = coeffs
+    i = LoopInfo("i", m1)
+    j = LoopInfo("j", m2)
+    eqs = equations(
+        [Affine(a0, {"i": a1, "j": a2})],
+        [Affine(b0, {"i": b1, "j": b2})],
+        (i, j),
+    )
+    exists = any(
+        a0 + a1 * x1 + a2 * x2 == b0 + b1 * y1 + b2 * y2
+        for x1 in range(1, m1 + 1)
+        for y1 in range(1, m1 + 1)
+        for x2 in range(1, m2 + 1)
+        for y2 in range(1, m2 + 1)
+    )
+    assert (exact_test(eqs) is not None) == exists

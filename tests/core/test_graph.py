@@ -1,0 +1,118 @@
+"""Digraph utilities: SCC, topological sort, quotient, reachability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import Digraph
+
+
+def graph_of(edges, vertices=()):
+    g = Digraph(vertices)
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    return g
+
+
+class TestSCC:
+    def test_acyclic_singletons(self):
+        g = graph_of([("a", "b"), ("b", "c")])
+        assert sorted(map(sorted, g.sccs())) == [["a"], ["b"], ["c"]]
+
+    def test_simple_cycle(self):
+        g = graph_of([("a", "b"), ("b", "a")])
+        assert sorted(map(sorted, g.sccs())) == [["a", "b"]]
+
+    def test_two_components(self):
+        g = graph_of([("a", "b"), ("b", "a"), ("b", "c"),
+                      ("c", "d"), ("d", "c")])
+        comps = sorted(map(sorted, g.sccs()))
+        assert comps == [["a", "b"], ["c", "d"]]
+
+    def test_self_loop(self):
+        g = graph_of([("a", "a")])
+        assert g.sccs() == [["a"]]
+
+    def test_reverse_topological_order_of_condensation(self):
+        g = graph_of([("a", "b"), ("b", "c")])
+        order = [c[0] for c in g.sccs()]
+        assert order.index("c") < order.index("a")
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 5000
+        g = graph_of([(k, k + 1) for k in range(n)])
+        assert len(g.sccs()) == n + 1
+
+    def test_isolated_vertices(self):
+        g = Digraph(["x", "y"])
+        assert sorted(map(sorted, g.sccs())) == [["x"], ["y"]]
+
+
+class TestTopological:
+    def test_order_respects_edges(self):
+        g = graph_of([("a", "c"), ("b", "c"), ("c", "d")])
+        order = g.topological_order()
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_raises(self):
+        g = graph_of([("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            g.topological_order()
+        assert not g.is_acyclic()
+
+    def test_deterministic_insertion_order(self):
+        g = Digraph(["p", "q", "r"])
+        assert g.topological_order() == ["p", "q", "r"]
+
+
+class TestQuotient:
+    def test_condensation_is_dag(self):
+        g = graph_of([("a", "b"), ("b", "a"), ("b", "c"),
+                      ("c", "d"), ("d", "c"), ("a", "d")])
+        q, scc_of = g.quotient()
+        assert q.is_acyclic()
+        assert scc_of["a"] == scc_of["b"]
+        assert scc_of["c"] == scc_of["d"]
+        assert scc_of["a"] != scc_of["c"]
+
+    def test_intra_scc_edges_dropped(self):
+        g = graph_of([("a", "b"), ("b", "a")])
+        q, _ = g.quotient()
+        assert list(q.edges()) == []
+
+    def test_labels_preserved(self):
+        g = Digraph()
+        g.add_edge("a", "b", "lab")
+        q, scc_of = g.quotient()
+        labels = [label for _, _, label in q.edges()]
+        assert labels == ["lab"]
+
+
+class TestReachability:
+    def test_reachable(self):
+        g = graph_of([("a", "b"), ("b", "c"), ("d", "a")])
+        assert g.reachable_from(["a"]) == {"a", "b", "c"}
+        assert g.reachable_from(["d"]) == {"d", "a", "b", "c"}
+        assert g.reachable_from([]) == set()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    edges=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20
+    ),
+)
+def test_scc_partition_property(n, edges):
+    g = Digraph(range(n))
+    for src, dst in edges:
+        if src < n and dst < n:
+            g.add_edge(src, dst)
+    comps = g.sccs()
+    # Partition: every vertex in exactly one component.
+    flat = [v for comp in comps for v in comp]
+    assert sorted(flat) == sorted(g.vertices)
+    # Mutual reachability within components.
+    for comp in comps:
+        for u in comp:
+            reach = g.reachable_from([u])
+            assert all(v in reach for v in comp)

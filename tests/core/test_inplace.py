@@ -1,0 +1,142 @@
+"""In-place planning: node-splitting read classification (paper §9)."""
+
+from repro.comprehension.build import build_array_comp, find_array_comp
+from repro.core.dependence import anti_edges, flow_edges
+from repro.core.inplace import plan_inplace
+from repro.core.schedule import schedule_comp
+from repro.lang.parser import parse_expr
+
+
+def plan_for(src, old, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(parse_expr(src))
+    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    edges = (flow_edges(comp) if comp.name else []) + anti_edges(comp, old)
+    schedule = schedule_comp(comp, edges, allow_node_splitting=True)
+    assert schedule.ok, schedule.failures
+    plan = plan_inplace(
+        comp, old, schedule.clause_directions(), schedule.clause_positions()
+    )
+    return comp, schedule, plan
+
+
+def modes(plan, comp):
+    return {
+        clause.index + 1: [p.mode for p in plan.plans_for(clause)]
+        for clause in comp.clauses
+    }
+
+
+class TestSwap:
+    def test_one_hoist_one_direct(self):
+        from repro.kernels import SWAP
+
+        comp, schedule, plan = plan_for(
+            SWAP, "a", {"m": 6, "n": 8, "i": 2, "k": 5}
+        )
+        assert plan.mode == "split"
+        all_modes = modes(plan, comp)
+        # The first-ordered clause reads directly; the second's read
+        # was killed by the first's store and must be hoisted.
+        flattened = sorted(m for ms in all_modes.values() for m in ms)
+        assert flattened == ["direct", "hoist"]
+        assert len(plan.hoisted) == 1
+        assert plan.snapshots == []
+
+
+class TestJacobi:
+    def test_two_snapshots_two_direct(self):
+        from repro.kernels import JACOBI
+
+        comp, schedule, plan = plan_for(JACOBI, "u", {"m": 10})
+        assert plan.mode == "split"
+        reads = plan.plans_for(comp.clauses[0])
+        by_mode = {}
+        for read_plan in reads:
+            by_mode.setdefault(read_plan.mode, []).append(read_plan)
+        assert len(by_mode["direct"]) == 2   # (i+1,j), (i,j+1)
+        assert len(by_mode["snapshot"]) == 2  # (i-1,j), (i,j-1)
+        levels = sorted(p.level for p in by_mode["snapshot"])
+        assert levels == [0, 1]  # one row ring, one scalar ring
+        assert all(p.distance == 1 for p in by_mode["snapshot"])
+        assert len(plan.snapshots) == 2
+
+    def test_wider_stencil_distance(self):
+        src = """
+        array (1,n)
+          [* i := u!(i-3) + u!(i+1) | i <- [4..n-1] *]
+        """
+        comp, schedule, plan = plan_for(src, "u", {"n": 20})
+        snapshot = [p for p in plan.plans_for(comp.clauses[0])
+                    if p.mode == "snapshot"]
+        assert len(snapshot) == 1
+        assert snapshot[0].distance == 3
+        assert plan.snapshots[0].depth == 3
+
+
+class TestGaussSeidel:
+    def test_all_direct(self):
+        from repro.kernels import GAUSS_SEIDEL
+
+        comp, schedule, plan = plan_for(GAUSS_SEIDEL, "u", {"m": 10})
+        assert plan.mode == "split"
+        assert all(
+            p.mode == "direct" for p in plan.plans_for(comp.clauses[0])
+        )
+        assert plan.snapshots == []
+        assert plan.hoisted == []
+
+
+class TestFallback:
+    def test_reverse_whole_copy(self):
+        from repro.kernels import REVERSE
+
+        comp, schedule, plan = plan_for(REVERSE, "a", {"n": 9})
+        assert plan.mode == "whole_copy"
+        assert plan.reason
+
+    def test_transpose_whole_copy(self):
+        src = """
+        array ((1,1),(n,n))
+          [* (i,j) := a!(j,i) | i <- [1..n], j <- [1..n] *]
+        """
+        comp, schedule, plan = plan_for(src, "a", {"n": 5})
+        assert plan.mode == "whole_copy"
+
+
+class TestDirectionAwareness:
+    def test_backward_schedule_flips_protection(self):
+        # Reading u!(i+1): under a forward loop the cell is still old
+        # (direct); if a flow dependence forces the loop backward, the
+        # same read becomes killed and needs a snapshot.
+        forward_src = """
+        array (1,n) [* i := u!(i+1) | i <- [1..n-1] *]
+        """
+        comp, schedule, plan = plan_for(forward_src, "u", {"n": 10})
+        assert [p.mode for p in plan.plans_for(comp.clauses[0])] == ["direct"]
+
+        backward_src = """
+        letrec a = array (1,n)
+          ([ n := 0 ] ++
+           [* i := a!(i+1) + u!(i+1) | i <- [1..n-2] *])
+        in a
+        """
+        comp, schedule, plan = plan_for(backward_src, "u", {"n": 10})
+        directions = schedule.clause_directions()
+        interior = comp.clauses[1]
+        assert directions[interior.index] == ("backward",)
+        read_modes = [p.mode for p in plan.plans_for(interior)]
+        assert read_modes == ["snapshot"]
+
+    def test_cross_clause_kill_outside_shared_loops_falls_back(self):
+        # Clause 1 must run first (flow), but it kills a cell clause 2
+        # still reads from the old array, and the clauses share no
+        # loop: no hoist point exists, so the planner must degrade to
+        # the whole-copy strategy.
+        src = """
+        letrec a = array (1,n)
+          ([ n := 0 ] ++
+           [* i := a!(i+1) + u!(i+1) | i <- [1..n-1] *])
+        in a
+        """
+        comp, schedule, plan = plan_for(src, "u", {"n": 10})
+        assert plan.mode == "whole_copy"

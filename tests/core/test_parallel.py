@@ -1,0 +1,141 @@
+"""Hyperplane parallelism analysis (§10 extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import analyze
+from repro.core.parallel import (
+    analyze_parallelism,
+    dependence_distances,
+    find_hyperplane,
+)
+
+
+class TestHyperplaneSearch:
+    def test_wavefront_distances(self):
+        assert find_hyperplane([(1, 0), (0, 1), (1, 1)]) == (1, 1)
+
+    def test_single_axis(self):
+        assert find_hyperplane([(0, 1)]) == (0, 1)
+        assert find_hyperplane([(1, 0)]) == (1, 0)
+
+    def test_one_dimensional(self):
+        assert find_hyperplane([(1,)]) == (1,)
+        assert find_hyperplane([(2,)]) == (1,)
+
+    def test_negative_component(self):
+        # Distance (1, -1): h must weight the first axis more.
+        h = find_hyperplane([(1, -1), (0, 1)])
+        assert h is not None
+        assert h[0] * 1 + h[1] * -1 > 0
+        assert h[1] > 0
+
+    def test_flattest_plane_preferred(self):
+        # (2, 0) alone admits h = (1, 0); not (1, 1).
+        assert find_hyperplane([(2, 0)]) == (1, 0)
+
+    def test_no_distances_no_plane(self):
+        assert find_hyperplane([]) is None
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        distances=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(-2, 2)).filter(
+                lambda d: d > (0, 0)
+            ),
+            min_size=1, max_size=4, unique=True,
+        )
+    )
+    def test_found_planes_are_legal(self, distances):
+        h = find_hyperplane(distances)
+        if h is not None:
+            for d in distances:
+                assert sum(hk * dk for hk, dk in zip(h, d)) > 0
+
+
+class TestDistances:
+    def test_wavefront(self):
+        from repro.kernels import WAVEFRONT
+
+        report = analyze(WAVEFRONT, {"n": 10})
+        interior = report.comp.clauses[2]
+        distances = dependence_distances(
+            report.comp, interior, report.edges
+        )
+        assert set(distances) == {(1, 0), (0, 1), (1, 1)}
+
+    def test_no_self_dependence(self):
+        from repro.kernels import SQUARES
+
+        report = analyze(SQUARES, {"n": 10})
+        assert dependence_distances(
+            report.comp, report.comp.clauses[0], report.edges
+        ) == ()
+
+    def test_non_uniform_returns_none(self):
+        src = """
+        letrec a = array (1,40)
+          [* [ i := (if i > 1 then a!(div i 2) else 0) + 1 ]
+           | i <- [1..40] *]
+        in a
+        """
+        report = analyze(src)
+        assert dependence_distances(
+            report.comp, report.comp.clauses[0], report.edges
+        ) is None
+
+
+class TestProfiles:
+    def test_wavefront_profile(self):
+        from repro.kernels import WAVEFRONT
+
+        report = analyze(WAVEFRONT, {"n": 20})
+        profiles = {p.clause.index: p for p in report.parallelism}
+        interior = profiles[2]
+        assert interior.hyperplane == (1, 1)
+        assert interior.work == 19 * 19
+        assert interior.steps == 2 * 18 + 1
+        assert interior.speedup_bound == pytest.approx(361 / 37)
+        # Borders are fully parallel.
+        assert profiles[0].fully_parallel
+        assert profiles[0].steps == 1
+
+    def test_sequential_recurrence_bound_is_one(self):
+        from repro.kernels import FORWARD_RECURRENCE
+
+        report = analyze(FORWARD_RECURRENCE, {"n": 25})
+        interior = [p for p in report.parallelism
+                    if p.clause.index == 1][0]
+        assert interior.hyperplane == (1,)
+        assert interior.speedup_bound == 1.0
+
+    def test_column_recurrence_row_parallel(self):
+        src = """
+        letrec a = array ((1,1),(m,m))
+          [* (i,j) := (if j > 1 then a!(i,j-1) else 0) + 1
+           | i <- [1..m], j <- [1..m] *]
+        in a
+        """
+        report = analyze(src, {"m": 12})
+        profile = report.parallelism[0]
+        assert profile.hyperplane == (0, 1)
+        assert profile.steps == 12
+        assert profile.speedup_bound == 12.0
+
+    def test_summary_mentions_wavefront(self):
+        from repro.kernels import WAVEFRONT
+
+        report = analyze(WAVEFRONT, {"n": 8})
+        text = report.summary()
+        assert "wavefront h=(1, 1)" in text
+        assert "speedup bound" in text
+
+    def test_symbolic_sizes_give_plane_without_counts(self):
+        from repro.kernels import WAVEFRONT
+
+        report = analyze(WAVEFRONT)  # no params
+        interior = [p for p in report.parallelism
+                    if p.clause.index == 2][0]
+        # Distances need the exact test, which needs trip counts: the
+        # profile degrades gracefully.
+        assert interior.hyperplane is None or interior.steps is None

@@ -1,0 +1,128 @@
+"""The ready/not-ready marking DFS (paper §8.1.3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import Digraph
+from repro.core.ready import mark_ready
+
+
+def graph_of(edges, vertices):
+    g = Digraph(vertices)
+    for src, dst, label in edges:
+        g.add_edge(src, dst, label)
+    return g
+
+
+class TestPaperCases:
+    def test_abc_example_forward(self):
+        # A -> B (<), B -> C (>), A -> C (=): first forward pass
+        # schedules A and B; C must wait behind the (>) edge.
+        g = graph_of(
+            [("A", "B", "fwd"), ("B", "C", "bwd"), ("A", "C", "order")],
+            "ABC",
+        )
+        assert mark_ready(g, "forward") == {"A", "B"}
+
+    def test_abc_example_backward(self):
+        g = graph_of(
+            [("A", "B", "fwd"), ("B", "C", "bwd"), ("A", "C", "order")],
+            "ABC",
+        )
+        assert mark_ready(g, "backward") == {"A"}
+
+    def test_taint_propagates_through_clean_edges(self):
+        # root -bwd-> x -order-> y: both x and y are not-ready forward.
+        g = graph_of(
+            [("r", "x", "bwd"), ("x", "y", "order")], "rxy"
+        )
+        assert mark_ready(g, "forward") == {"r"}
+
+    def test_remarking_clean_then_tainted(self):
+        # y reached first via a clean path, later via a tainted one:
+        # the paper's fourth DFS case must demote y and descendants.
+        g = Digraph("rxyz")
+        g.add_edge("r", "y", "order")   # clean path first
+        g.add_edge("r", "x", "bwd")     # tainted branch
+        g.add_edge("x", "y", "order")   # re-reaches y tainted
+        g.add_edge("y", "z", "order")
+        assert mark_ready(g, "forward") == {"r"}
+
+    def test_all_order_edges_everything_ready(self):
+        g = graph_of(
+            [("a", "b", "order"), ("b", "c", "order")], "abc"
+        )
+        assert mark_ready(g, "forward") == {"a", "b", "c"}
+        assert mark_ready(g, "backward") == {"a", "b", "c"}
+
+    def test_both_label_blocks_either_direction(self):
+        g = graph_of([("a", "b", "both")], "ab")
+        assert mark_ready(g, "forward") == {"a"}
+        assert mark_ready(g, "backward") == {"a"}
+
+    def test_roots_always_ready(self):
+        g = graph_of([("a", "b", "bwd"), ("c", "b", "bwd")], "abc")
+        ready = mark_ready(g, "forward")
+        assert {"a", "c"} <= ready
+        assert "b" not in ready
+
+    def test_bad_direction_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            mark_ready(Digraph("a"), "sideways")
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    n=st.integers(1, 7),
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 6),
+            st.integers(0, 6),
+            st.sampled_from(["order", "fwd", "bwd"]),
+        ),
+        max_size=15,
+    ),
+    direction=st.sampled_from(["forward", "backward"]),
+)
+def test_ready_set_matches_specification(n, edges, direction):
+    """ready == not reachable from a root via a path with a bad edge."""
+    g = Digraph(range(n))
+    seen = set()
+    for src, dst, label in edges:
+        if src < n and dst < n and src != dst and (src, dst) not in seen:
+            # Keep the graph acyclic: only forward edges by index.
+            if src < dst:
+                g.add_edge(src, dst, label)
+                seen.add((src, dst))
+    bad = {"forward": "bwd", "backward": "fwd"}[direction]
+
+    # Specification by explicit path enumeration.
+    indegree = {v: 0 for v in g.succ}
+    for _, dst, _ in g.edges():
+        indegree[dst] += 1
+    roots = [v for v, c in indegree.items() if c == 0]
+
+    tainted = set()
+    frontier = []
+    for root in roots:
+        for dst, label in g.succ[root]:
+            frontier.append((dst, label == bad or label == "both"))
+    # BFS tracking whether any path is tainted.
+    state = {}
+    while frontier:
+        vertex, is_tainted = frontier.pop()
+        previous = state.get(vertex)
+        if previous is not None and (previous or not is_tainted):
+            continue
+        state[vertex] = previous or is_tainted if previous is not None \
+            else is_tainted
+        if is_tainted:
+            tainted.add(vertex)
+        for dst, label in g.succ[vertex]:
+            frontier.append(
+                (dst, is_tainted or label == bad or label == "both")
+            )
+
+    expected = {v for v in g.succ if v not in tainted}
+    assert mark_ready(g, direction) == expected

@@ -1,0 +1,229 @@
+"""Static scheduling (paper §8): directions, passes, fallbacks."""
+
+from repro.comprehension.build import build_array_comp, find_array_comp
+from repro.core.dependence import anti_edges, flow_edges
+from repro.core.schedule import (
+    Schedule,
+    ScheduledClause,
+    ScheduledLoop,
+    schedule_comp,
+)
+from repro.lang.parser import parse_expr
+
+
+def comp_of(src, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(parse_expr(src))
+    return build_array_comp(name, bounds_ast, pairs_ast, params)
+
+
+def scheduled(src, params=None, anti_old=None, split=False):
+    comp = comp_of(src, params)
+    edges = flow_edges(comp)
+    if anti_old:
+        edges = edges + anti_edges(comp, anti_old)
+    return schedule_comp(comp, edges, allow_node_splitting=split)
+
+
+class TestSingleLevelLoops:
+    def test_example1_forward_with_order(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        s = scheduled(STRIDE3_SCHEMATIC)
+        assert s.ok
+        assert s.loop_directions() == {"i": ["forward"]}
+        order = s.clause_order()
+        assert order.index(0) < order.index(2)  # clause 1 before 3
+
+    def test_backward_only_dependence(self):
+        src = """
+        letrec a = array (1,10)
+          [* [ i := (if i < 10 then a!(i+1) else 0) + 1 ] | i <- [1..10] *]
+        in a
+        """
+        s = scheduled(src)
+        assert s.ok
+        assert s.loop_directions() == {"i": ["backward"]}
+
+    def test_no_dependences_either_direction(self):
+        s = scheduled("letrec a = array (1,5) [ i := i | i <- [1..5] ] in a")
+        assert s.ok
+        assert s.loop_directions() == {"i": ["either"]}
+
+    def test_abc_two_passes(self):
+        from repro.kernels import ABC_ACYCLIC
+
+        s = scheduled(ABC_ACYCLIC)
+        assert s.ok
+        directions = s.loop_directions()["i"]
+        assert len(directions) == 2  # three clauses collapse to 2 passes
+        # First pass runs A and B forward; second pass runs C.
+        first = s.items[0]
+        assert isinstance(first, ScheduledLoop)
+        members = [
+            item.clause.index for item in first.body
+            if isinstance(item, ScheduledClause)
+        ]
+        assert members == [0, 1]
+        second = s.items[1]
+        assert [item.clause.index for item in second.body] == [2]
+
+    def test_cyclic_both_directions_fails(self):
+        from repro.kernels import CYCLIC_FALLBACK
+
+        s = scheduled(CYCLIC_FALLBACK)
+        assert not s.ok
+        assert any("cycle" in f for f in s.failures)
+
+    def test_within_instance_order_cycle_fails(self):
+        # Two clauses feeding each other in the same instance.
+        src = """
+        letrec a = array (1,20)
+          [* [ 2*i := a!(2*i+1) + 1,
+               2*i+1 := a!(2*i) + 1 ] | i <- [1..10] *]
+        in a
+        """
+        s = scheduled(src)
+        assert not s.ok
+
+    def test_element_self_dependence_fails(self):
+        src = """
+        letrec a = array (1,5)
+          [* [ i := a!i + 1 ] | i <- [1..5] *]
+        in a
+        """
+        s = scheduled(src)
+        assert not s.ok
+        assert any("itself" in f for f in s.failures)
+
+
+class TestNestedLoops:
+    def test_example2_schedule(self):
+        from repro.kernels import EXAMPLE2
+
+        s = scheduled(EXAMPLE2)
+        assert s.ok
+        directions = s.loop_directions()
+        assert directions["i"] == ["forward"]
+        assert directions["j"] == ["backward"]
+
+    def test_wavefront_forward_forward(self):
+        from repro.kernels import WAVEFRONT
+
+        s = scheduled(WAVEFRONT, {"n": 8})
+        assert s.ok
+        directions = s.loop_directions()
+        assert "forward" in directions["i"]
+        assert "forward" in directions["j"]
+        # Borders are scheduled before the interior nest.
+        order = s.clause_order()
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(2)
+
+    def test_inner_carried_edge_does_not_constrain_outer(self):
+        # (=,<) edge: inner loop forward, outer free.
+        src = """
+        letrec a = array ((1,1),(8,8))
+          [* (i,j) := (if j > 1 then a!(i,j-1) else 0) + 1
+           | i <- [1..8], j <- [1..8] *]
+        in a
+        """
+        s = scheduled(src, {"n": 8})
+        assert s.ok
+        directions = s.loop_directions()
+        assert directions["i"] == ["either"]
+        assert directions["j"] == ["forward"]
+
+    def test_outer_carried_edge_does_not_constrain_inner(self):
+        src = """
+        letrec a = array ((1,1),(8,8))
+          [* (i,j) := (if i > 1 then a!(i-1,j) else 0) + 1
+           | i <- [1..8], j <- [1..8] *]
+        in a
+        """
+        s = scheduled(src)
+        directions = s.loop_directions()
+        assert directions["i"] == ["forward"]
+        assert directions["j"] == ["either"]
+
+    def test_backward_inner_loop_from_source_order(self):
+        # Generator written backward: dependences computed in
+        # normalized space; the schedule direction composes with the
+        # written order.
+        src = """
+        letrec a = array (1,10)
+          [* [ i := (if i < 10 then a!(i+1) else 0) + 1 ]
+           | i <- [10,9..1] *]
+        in a
+        """
+        s = scheduled(src)
+        assert s.ok
+        # Source order already runs 10..1; dependence (<) in
+        # normalized space means "earlier in written order", so the
+        # loop runs forward over the written (descending) sequence.
+        assert s.loop_directions() == {"i": ["forward"]}
+
+
+class TestNodeSplitting:
+    def test_swap_requires_splitting(self):
+        from repro.kernels import SWAP
+
+        params = {"m": 6, "n": 8, "i": 2, "k": 5}
+        comp = comp_of(SWAP, params)
+        edges = anti_edges(comp, "a")
+        strict = schedule_comp(comp, edges, allow_node_splitting=False)
+        assert not strict.ok
+        relaxed = schedule_comp(comp, edges, allow_node_splitting=True)
+        assert relaxed.ok
+        assert len(relaxed.split_edges) == 2
+
+    def test_jacobi_split(self):
+        from repro.kernels import JACOBI
+
+        comp = comp_of(JACOBI, {"m": 10})
+        edges = anti_edges(comp, "u")
+        s = schedule_comp(comp, edges, allow_node_splitting=True)
+        assert s.ok
+        assert s.split_edges  # anti self-cycles broken by temporaries
+
+    def test_sor_needs_no_splitting(self):
+        from repro.kernels import GAUSS_SEIDEL
+
+        comp = comp_of(GAUSS_SEIDEL, {"m": 10})
+        edges = flow_edges(comp) + anti_edges(comp, "u")
+        s = schedule_comp(comp, edges, allow_node_splitting=True)
+        assert s.ok
+        assert s.split_edges == []
+        assert s.loop_directions() == {"i": ["forward"], "j": ["forward"]}
+
+    def test_flow_cycle_not_breakable(self):
+        # Cycles of *flow* edges cannot be node-split.
+        from repro.kernels import CYCLIC_FALLBACK
+
+        comp = comp_of(CYCLIC_FALLBACK)
+        s = schedule_comp(comp, flow_edges(comp), allow_node_splitting=True)
+        assert not s.ok
+
+
+class TestScheduleIntrospection:
+    def test_clause_directions(self):
+        from repro.kernels import WAVEFRONT
+
+        s = scheduled(WAVEFRONT, {"n": 8})
+        directions = s.clause_directions()
+        assert directions[2] == ("forward", "forward")
+        assert len(directions[0]) == 1
+
+    def test_clause_positions(self):
+        from repro.kernels import STRIDE3_SCHEMATIC
+
+        s = scheduled(STRIDE3_SCHEMATIC)
+        positions = s.clause_positions()
+        assert positions[0] < positions[2]
+
+    def test_schedule_repr_roundtrip(self):
+        from repro.kernels import WAVEFRONT
+        from repro.report import render_schedule
+
+        s = scheduled(WAVEFRONT, {"n": 8})
+        text = render_schedule(s)
+        assert "loop" in text and "clause" in text

@@ -1,0 +1,123 @@
+"""Reference pairs and dependence-equation construction."""
+
+import pytest
+
+from repro.core.affine import Affine
+from repro.core.subscripts import (
+    DependenceEquation,
+    LoopInfo,
+    Reference,
+    Term,
+    build_equations,
+    shared_loops,
+)
+
+
+class TestReference:
+    def test_construction(self):
+        i = LoopInfo("i", 10)
+        r = Reference("a", (Affine.var("i"),), (i,), is_write=True)
+        assert r.array == "a"
+        assert r.is_write
+
+    def test_subscript_vars_must_be_loop_vars(self):
+        i = LoopInfo("i", 10)
+        with pytest.raises(ValueError):
+            Reference("a", (Affine.var("k"),), (i,))
+
+    def test_constant_subscript_ok(self):
+        r = Reference("a", (Affine.constant(5),), ())
+        assert r.subscript[0].is_constant()
+
+
+class TestSharedLoops:
+    def test_identity_matters(self):
+        i1 = LoopInfo("i", 10)
+        i2 = LoopInfo("i", 10)  # same name, different loop
+        r1 = Reference("a", (Affine.var("i"),), (i1,))
+        r2 = Reference("a", (Affine.var("i"),), (i2,))
+        assert shared_loops(r1, r2) == ()
+
+    def test_common_prefix(self):
+        i = LoopInfo("i", 10)
+        j1 = LoopInfo("j", 5)
+        j2 = LoopInfo("j", 5)
+        r1 = Reference("a", (Affine.var("i"),), (i, j1))
+        r2 = Reference("a", (Affine.var("i"),), (i, j2))
+        assert shared_loops(r1, r2) == (i,)
+
+    def test_full_share(self):
+        i = LoopInfo("i", 10)
+        j = LoopInfo("j", 5)
+        r1 = Reference("a", (Affine.var("j"),), (i, j))
+        r2 = Reference("a", (Affine.var("i"),), (i, j))
+        assert shared_loops(r1, r2) == (i, j)
+
+
+class TestBuildEquations:
+    def test_constant_and_terms(self):
+        i = LoopInfo("i", 10)
+        f = Reference("a", (Affine(2, {"i": 3}),), (i,), is_write=True)
+        g = Reference("a", (Affine(5, {"i": 1}),), (i,))
+        eq = build_equations(f, g)[0]
+        assert eq.constant == 3  # b0 - a0 = 5 - 2
+        assert eq.depth == 1
+        term = eq.shared_terms[0]
+        assert (term.a, term.b) == (3, 1)
+        assert term.count == 10
+
+    def test_per_dimension(self):
+        i = LoopInfo("i", 10)
+        j = LoopInfo("j", 10)
+        f = Reference("a", (Affine.var("i"), Affine.var("j")), (i, j),
+                      is_write=True)
+        g = Reference(
+            "a", (Affine(-1, {"i": 1}), Affine(4, {"j": 1})), (i, j)
+        )
+        eqs = build_equations(f, g)
+        assert len(eqs) == 2
+        assert eqs[0].constant == -1
+        assert eqs[1].constant == 4
+
+    def test_unshared_terms_one_sided(self):
+        i = LoopInfo("i", 10)
+        j = LoopInfo("j", 4)
+        k = LoopInfo("k", 7)
+        f = Reference("a", (Affine.var("i") + Affine.var("j"),), (i, j),
+                      is_write=True)
+        g = Reference("a", (Affine.var("i") + Affine.var("k"),), (i, k))
+        eq = build_equations(f, g)[0]
+        assert eq.depth == 1  # only i is shared
+        one_sided = [t for t in eq.terms if not t.shared]
+        assert len(one_sided) == 2
+        by_var = {t.loop.var: t for t in one_sided}
+        assert by_var["j"].a == 1 and by_var["j"].b is None
+        assert by_var["k"].b == 1 and by_var["k"].a is None
+
+    def test_zero_coefficient_shared_term_kept(self):
+        i = LoopInfo("i", 10)
+        f = Reference("a", (Affine.var("i"),), (i,), is_write=True)
+        g = Reference("a", (Affine.constant(3),), (i,))
+        eq = build_equations(f, g)[0]
+        assert eq.shared_terms[0].b == 0
+
+    def test_different_arrays_rejected(self):
+        i = LoopInfo("i", 10)
+        f = Reference("a", (Affine.var("i"),), (i,))
+        g = Reference("b", (Affine.var("i"),), (i,))
+        with pytest.raises(ValueError):
+            build_equations(f, g)
+
+    def test_rank_mismatch_rejected(self):
+        i = LoopInfo("i", 10)
+        f = Reference("a", (Affine.var("i"),), (i,))
+        g = Reference("a", (Affine.var("i"), Affine.var("i")), (i,))
+        with pytest.raises(ValueError):
+            build_equations(f, g)
+
+    def test_term_repr_and_shared_flag(self):
+        i = LoopInfo("i", 3)
+        t = Term(i, 1, None)
+        assert not t.shared
+        assert Term(i, 1, 2).shared
+        assert isinstance(repr(DependenceEquation(0, [t])), str)

@@ -1,0 +1,176 @@
+"""Interpreter array semantics: array, accumArray, letrec*, bigupd."""
+
+import pytest
+
+from repro.interp import evaluate, run_program
+from repro.runtime.errors import (
+    BlackHoleError,
+    UndefinedElementError,
+    WriteCollisionError,
+)
+from repro.runtime.nonstrict import NonStrictArray
+from repro.runtime.strict import StrictArray
+
+
+class TestArrayConstruction:
+    def test_squares(self):
+        a = evaluate("array (1,5) [ i := i*i | i <- [1..5] ]", deep=False)
+        assert isinstance(a, NonStrictArray)
+        assert a.to_list() == [1, 4, 9, 16, 25]
+
+    def test_two_dimensional(self):
+        a = evaluate(
+            "array ((1,1),(2,3)) [ (i,j) := 10*i + j "
+            "| i <- [1..2], j <- [1..3] ]",
+            deep=False,
+        )
+        assert a.at((2, 3)) == 23
+
+    def test_bounds_builtin(self):
+        assert evaluate(
+            "bounds (array (1,5) [ i := 0 | i <- [1..5] ])"
+        ) == (1, 5)
+
+    def test_collision_raises(self):
+        with pytest.raises(WriteCollisionError):
+            evaluate("array (1,3) [ 1 := k | k <- [1..2] ]", deep=False)
+
+    def test_empty_demanded_raises(self):
+        a = evaluate("array (1,3) [ 1 := 10 ]", deep=False)
+        with pytest.raises(UndefinedElementError):
+            a.at(2)
+
+    def test_values_stay_lazy_until_demanded(self):
+        a = evaluate("array (1,2) [ 1 := 5, 2 := 1/0 ]", deep=False)
+        assert a.at(1) == 5
+        with pytest.raises(ZeroDivisionError):
+            a.at(2)
+
+
+class TestRecursiveArrays:
+    def test_letrec_fibonacci(self):
+        src = """
+        letrec fib = array (1,10)
+           ([ 1 := 1, 2 := 1 ] ++
+            [ i := fib!(i-1) + fib!(i-2) | i <- [3..10] ])
+        in fib
+        """
+        a = evaluate(src, deep=False)
+        assert a.to_list() == [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+
+    def test_wavefront(self):
+        from repro.kernels import WAVEFRONT, ref_wavefront
+
+        a = evaluate(WAVEFRONT, bindings={"n": 6}, deep=False)
+        want = ref_wavefront(6)
+        for i in range(1, 7):
+            for j in range(1, 7):
+                assert a.at((i, j)) == want[i][j]
+
+    def test_letrec_star_returns_strict(self):
+        a = evaluate(
+            "letrec* a = array (1,3) [ i := i | i <- [1..3] ] in a",
+            deep=False,
+        )
+        assert isinstance(a, StrictArray)
+
+    def test_letrec_star_forces_hidden_bottom(self):
+        src = """
+        letrec* a = array (1,2)
+            [ 1 := a!2, 2 := a!1 ]
+        in 42
+        """
+        with pytest.raises(BlackHoleError):
+            evaluate(src)
+
+    def test_plain_letrec_defers_bottom(self):
+        # Without the star, an unused cyclic element never runs.
+        src = """
+        letrec a = array (1,2)
+            [ 1 := a!2 + 1, 2 := a!1 + 1 ]
+        in 42
+        """
+        assert evaluate(src) == 42
+
+    def test_forceElements_builtin(self):
+        a = evaluate(
+            "forceElements (array (1,2) [ 1 := 1, 2 := 2 ])", deep=False
+        )
+        assert isinstance(a, StrictArray)
+
+
+class TestAccumArray:
+    def test_histogram(self):
+        a = evaluate(
+            "accumArray (\\a b -> a + b) 0 (0,3) "
+            "[ mod k 4 := 1 | k <- [1..10] ]",
+            deep=False,
+        )
+        assert a.to_list() == [2, 3, 3, 2]
+
+    def test_default(self):
+        a = evaluate(
+            "accumArray (\\a b -> a + b) 0 (1,4) [ 2 := 7 ]", deep=False
+        )
+        assert a.to_list() == [0, 7, 0, 0]
+
+    def test_non_commutative_order(self):
+        a = evaluate(
+            "accumArray (\\a b -> a * 10 + b) 0 (1,1) "
+            "[ 1 := k | k <- [1..3] ]",
+            deep=False,
+        )
+        assert a.at(1) == 123
+
+
+class TestBigupd:
+    def test_bulk_update(self):
+        src = """
+        let a = array (1,4) [ i := 0 | i <- [1..4] ]
+        in bigupd a [ i := i * 10 | i <- [2..3] ]
+        """
+        a = evaluate(src, deep=False)
+        assert a.to_list() == [0, 20, 30, 0]
+
+    def test_original_unchanged(self):
+        src = """
+        let a = array (1,3) [ i := i | i <- [1..3] ]
+        in (bigupd a [ 2 := 99 ], a)
+        """
+        new, old = evaluate(src, deep=False)
+        assert new.to_list() == [1, 99, 3]
+        assert old.to_list() == [1, 2, 3]
+
+    def test_reads_see_original_values(self):
+        # bigupd semantics: values are computed against the *original*
+        # array (the pair list is built before the fold).
+        src = """
+        let a = array (1,3) [ i := i | i <- [1..3] ]
+        in bigupd a [ i := a!1 + a!i | i <- [1..3] ]
+        """
+        a = evaluate(src, deep=False)
+        assert a.to_list() == [2, 3, 4]
+
+
+class TestPrograms:
+    def test_run_program(self):
+        src = """
+        square x = x * x;
+        main = square 7
+        """
+        assert run_program(src) == 49
+
+    def test_mutually_recursive_program(self):
+        src = """
+        isEven n = if n == 0 then True else isOdd (n - 1);
+        isOdd n = if n == 0 then False else isEven (n - 1);
+        main = (isEven 10, isOdd 7)
+        """
+        assert run_program(src) == (True, True)
+
+    def test_program_with_array(self):
+        src = """
+        n = 5;
+        main = sum [ k | k <- [1..n] ]
+        """
+        assert run_program(src) == 15

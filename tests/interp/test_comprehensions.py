@@ -1,0 +1,80 @@
+"""Interpreter comprehension semantics, incl. nested comprehensions."""
+
+import pytest
+
+from repro.interp import evaluate
+
+
+class TestOrdinary:
+    def test_map_like(self):
+        assert evaluate("[ i * 2 | i <- [1..4] ]") == [2, 4, 6, 8]
+
+    def test_cartesian_order(self):
+        # Rightmost generator varies fastest.
+        assert evaluate("[ (i, j) | i <- [1..2], j <- [1..2] ]") == [
+            (1, 1), (1, 2), (2, 1), (2, 2),
+        ]
+
+    def test_guard_filters(self):
+        assert evaluate("[ i | i <- [1..10], mod i 3 == 0 ]") == [3, 6, 9]
+
+    def test_guard_between_generators(self):
+        out = evaluate("[ (i, j) | i <- [1..3], i /= 2, j <- [1..2] ]")
+        assert out == [(1, 1), (1, 2), (3, 1), (3, 2)]
+
+    def test_dependent_generator(self):
+        assert evaluate("[ (i, j) | i <- [1..3], j <- [1..i] ]") == [
+            (1, 1), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3),
+        ]
+
+    def test_let_qualifier(self):
+        assert evaluate("[ v * v | i <- [1..3], let v = i + 1 ]") == [4, 9, 16]
+
+    def test_generator_over_list_expression(self):
+        assert evaluate("[ x + 1 | x <- [10, 20, 30] ]") == [11, 21, 31]
+
+    def test_empty_generator(self):
+        assert evaluate("[ i | i <- [5..1] ]") == []
+
+    def test_heads_are_lazy(self):
+        assert evaluate("head [ 1 / i | i <- [0..3], i > 0 ]") == 1.0
+
+
+class TestNested:
+    def test_append_body(self):
+        out = evaluate("[* [i] ++ [i * 10] | i <- [1..3] *]")
+        assert out == [1, 10, 2, 20, 3, 30]
+
+    def test_multi_element_body(self):
+        out = evaluate("[* [i, -i] | i <- [1..2] *]")
+        assert out == [1, -1, 2, -2]
+
+    def test_nested_in_nested(self):
+        out = evaluate("[* [* [ i*10 + j ] | j <- [1..2] *] | i <- [1..2] *]")
+        assert out == [11, 12, 21, 22]
+
+    def test_where_shared_subexpression(self):
+        out = evaluate("[* ([v] ++ [v + 1] where v = i * 100) | i <- [1..2] *]")
+        assert out == [100, 101, 200, 201]
+
+    def test_guard_qualifier(self):
+        out = evaluate("[* [i] | i <- [1..5], mod i 2 == 1 *]")
+        assert out == [1, 3, 5]
+
+    def test_equivalent_to_flat_append(self):
+        nested = evaluate("[* [ 2*i := i ] ++ [ 2*i+1 := -i ] | i <- [1..4] *]")
+        flat = evaluate(
+            "[ 2*i := i | i <- [1..4] ] ++ [ 2*i+1 := -i | i <- [1..4] ]"
+        )
+        # Same multiset of pairs; nested interleaves per instance.
+        def normalize(pairs):
+            return sorted(pairs)
+        assert normalize(nested) == normalize(flat)
+
+    def test_paper_nesting_structure(self):
+        # The §3.1 example shape: shared outer generator, two inner
+        # branches, a trailing per-instance clause.
+        out = evaluate(
+            "[* ([* [ i*100 + j ] | j <- [1..2] *]) ++ [ i ] | i <- [1..2] *]"
+        )
+        assert out == [101, 102, 1, 201, 202, 2]

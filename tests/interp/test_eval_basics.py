@@ -1,0 +1,133 @@
+"""Interpreter basics: arithmetic, functions, laziness, builtins."""
+
+import pytest
+
+from repro.interp import evaluate
+from repro.interp.interp import InterpError
+
+
+class TestArithmetic:
+    def test_literals(self):
+        assert evaluate("42") == 42
+        assert evaluate("2.5") == 2.5
+        assert evaluate("True") is True
+
+    def test_operators(self):
+        assert evaluate("2 + 3 * 4") == 14
+        assert evaluate("10 - 4 - 3") == 3
+        assert evaluate("7 / 2") == 3.5
+        assert evaluate("7 % 3") == 1
+        assert evaluate("div 7 2") == 3
+        assert evaluate("mod 7 3") == 1
+
+    def test_comparisons(self):
+        assert evaluate("3 < 4") is True
+        assert evaluate("3 >= 4") is False
+        assert evaluate("3 == 3") is True
+        assert evaluate("3 /= 3") is False
+
+    def test_unary(self):
+        assert evaluate("-5 + 1") == -4
+        assert evaluate("not True") is False
+
+    def test_logical_short_circuit(self):
+        # The right operand would be bottom; && must not evaluate it.
+        assert evaluate("False && (1 / 0 > 0)") is False
+        assert evaluate("True || (1 / 0 > 0)") is True
+
+    def test_if(self):
+        assert evaluate("if 1 < 2 then 10 else 20") == 10
+
+    def test_intrinsics(self):
+        assert evaluate("abs (negate 3)") == 3
+        assert evaluate("min 2 9") == 2
+        assert evaluate("max 2 9") == 9
+        assert evaluate("signum (0 - 5)") == -1
+        assert abs(evaluate("sqrt 2.0") - 1.41421356) < 1e-6
+
+
+class TestFunctions:
+    def test_lambda(self):
+        assert evaluate("(\\x -> x * 2) 21") == 42
+
+    def test_multi_parameter(self):
+        assert evaluate("(\\x y -> x - y) 10 3") == 7
+
+    def test_currying(self):
+        assert evaluate("let add = \\x y -> x + y; inc = add 1 in inc 41") == 42
+
+    def test_builtin_currying(self):
+        assert evaluate("let inc = max 1 in inc 0") == 1
+
+    def test_higher_order(self):
+        assert evaluate("foldl (\\a x -> a + x) 0 [1..100]") == 5050
+        assert evaluate("foldr (\\x a -> x - a) 0 [1, 2, 3]") == 2
+
+    def test_map(self):
+        assert evaluate("map (\\x -> x * x) [1, 2, 3]") == [1, 4, 9]
+
+    def test_apply_non_function(self):
+        with pytest.raises(InterpError):
+            evaluate("3 4")
+
+
+class TestLaziness:
+    def test_let_binding_unused_bottom_ok(self):
+        assert evaluate("let boom = 1 / 0 in 5") == 5
+
+    def test_argument_unused_bottom_ok(self):
+        assert evaluate("(\\x -> 7) (1 / 0)") == 7
+
+    def test_list_elements_lazy(self):
+        assert evaluate("head [1, 1 / 0]") == 1
+
+    def test_infinite_list_via_letrec_not_needed(self):
+        # Spine-lazy append: only the demanded prefix is evaluated.
+        assert evaluate("head ([1] ++ [1 / 0])") == 1
+
+    def test_letrec_knot(self):
+        assert evaluate("letrec f = \\n -> if n == 0 then 1 else n * f (n - 1) in f 5") == 120
+
+
+class TestListsAndSequences:
+    def test_sequences(self):
+        assert evaluate("[1..5]") == [1, 2, 3, 4, 5]
+        assert evaluate("[1,3..9]") == [1, 3, 5, 7, 9]
+        assert evaluate("[5,4..1]") == [5, 4, 3, 2, 1]
+        assert evaluate("[3..1]") == []
+
+    def test_append(self):
+        assert evaluate("[1, 2] ++ [3]") == [1, 2, 3]
+
+    def test_length_sum_product(self):
+        assert evaluate("length [1..10]") == 10
+        assert evaluate("sum [1..10]") == 55
+        assert evaluate("product [1..5]") == 120
+
+    def test_head_tail_null(self):
+        assert evaluate("head [7, 8]") == 7
+        assert evaluate("tail [7, 8]") == [8]
+        assert evaluate("null []") is True
+        assert evaluate("null [1]") is False
+
+    def test_head_of_empty_raises(self):
+        with pytest.raises(InterpError):
+            evaluate("head []")
+
+    def test_tuples(self):
+        assert evaluate("(1 + 1, 2 * 2)") == (2, 4)
+
+
+class TestBindings:
+    def test_external_bindings(self):
+        assert evaluate("n * n", bindings={"n": 9}) == 81
+
+    def test_where(self):
+        assert evaluate("x + y where x = 1; y = 2") == 3
+
+    def test_shadowing(self):
+        assert evaluate("let x = 1 in let x = 2 in x") == 2
+
+    def test_sequential_let_scoping(self):
+        # Plain let: right-hand sides see the enclosing scope only.
+        assert evaluate("let x = 1 in let x = x + 1 in x") == 2

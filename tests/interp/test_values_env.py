@@ -1,0 +1,101 @@
+"""Interpreter value and environment plumbing."""
+
+import pytest
+
+from repro.interp.env import Env
+from repro.interp.values import (
+    NIL,
+    Builtin,
+    Closure,
+    Cons,
+    haskell_list,
+    is_function,
+    iter_list,
+    python_list,
+)
+from repro.interp.interp import Interpreter, deep_force
+from repro.runtime.thunks import Thunk
+
+
+class TestEnv:
+    def test_lookup_chains(self):
+        outer = Env({"x": 1})
+        inner = outer.child({"y": 2})
+        assert inner.lookup("x") == 1
+        assert inner.lookup("y") == 2
+        assert "x" in inner and "z" not in inner
+
+    def test_shadowing(self):
+        outer = Env({"x": 1})
+        inner = outer.child({"x": 99})
+        assert inner.lookup("x") == 99
+        assert outer.lookup("x") == 1
+
+    def test_unbound_raises(self):
+        with pytest.raises(NameError):
+            Env().lookup("ghost")
+
+    def test_define_mutates_scope(self):
+        env = Env()
+        env.define("k", 7)
+        assert env.lookup("k") == 7
+
+    def test_repr(self):
+        assert "Env" in repr(Env({"a": 1}))
+
+
+class TestListValues:
+    def test_haskell_list_roundtrip(self):
+        assert python_list(haskell_list([1, 2, 3])) == [1, 2, 3]
+        assert python_list(NIL) == []
+
+    def test_iter_list_lazy_heads(self):
+        ran = []
+        xs = Cons(Thunk(lambda: ran.append(1) or "a"), NIL)
+        heads = list(iter_list(xs))
+        assert ran == []  # heads not forced by iteration
+        assert len(heads) == 1
+
+    def test_iter_list_rejects_non_list(self):
+        with pytest.raises(TypeError):
+            list(iter_list(42))
+
+    def test_deep_force(self):
+        value = (Thunk(lambda: 1), haskell_list([Thunk(lambda: 2)]))
+        assert deep_force(value) == (1, [2])
+
+    def test_nil_iterates_empty(self):
+        assert list(NIL) == []
+
+
+class TestFunctionValues:
+    def test_builtin_currying(self):
+        add = Builtin("add", 2, lambda a, b: a + b)
+        partial = add.apply(1)
+        assert isinstance(partial, Builtin)
+        assert partial.apply(2) == 3
+
+    def test_is_function(self):
+        assert is_function(Builtin("f", 1, lambda x: x))
+        assert is_function(Closure(("x",), None, Env()))
+        assert not is_function(42)
+
+    def test_reprs(self):
+        assert "Builtin" in repr(Builtin("f", 2, lambda a, b: a))
+        assert "Closure" in repr(Closure(("x", "y"), None, Env()))
+        assert repr(NIL) == "NIL"
+
+
+class TestInterpreterPlumbing:
+    def test_extra_globals(self):
+        interp = Interpreter(extra_globals={"seven": 7})
+        from repro.lang.parser import parse_expr
+
+        assert interp.eval(parse_expr("seven * 6"), interp.globals) == 42
+
+    def test_apply_python_side(self):
+        interp = Interpreter()
+        from repro.lang.parser import parse_expr
+
+        double = interp.eval(parse_expr("\\x -> 2 * x"), interp.globals)
+        assert interp.apply(double, 21) == 42

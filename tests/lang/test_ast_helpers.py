@@ -1,0 +1,79 @@
+"""AST helper functions: free variables and traversal."""
+
+from repro.lang import ast
+from repro.lang.ast import free_vars
+from repro.lang.parser import parse_expr
+
+
+def fv(src):
+    return free_vars(parse_expr(src))
+
+
+class TestFreeVars:
+    def test_variable(self):
+        assert fv("x") == {"x"}
+
+    def test_literals_closed(self):
+        assert fv("42") == set()
+
+    def test_operators_union(self):
+        assert fv("x + y * z") == {"x", "y", "z"}
+
+    def test_lambda_binds(self):
+        assert fv("\\x -> x + y") == {"y"}
+        assert fv("\\x y -> x + y") == set()
+
+    def test_let_binds_body(self):
+        assert fv("let v = x in v + y") == {"x", "y"}
+
+    def test_plain_let_not_recursive(self):
+        assert fv("let v = v in v") == {"v"}
+
+    def test_letrec_is_recursive(self):
+        assert fv("letrec v = v in v") == set()
+
+    def test_comprehension_generator_binds(self):
+        assert fv("[ i + k | i <- [1..n] ]") == {"k", "n"}
+
+    def test_generator_scope_is_left_to_right(self):
+        assert fv("[ 0 | i <- [1..n], j <- [1..i] ]") == {"n"}
+        assert fv("[ 0 | j <- [1..i], i <- [1..n] ]") == {"i", "n"}
+
+    def test_guard_sees_generators(self):
+        assert fv("[ i | i <- [1..9], i > t ]") == {"t"}
+
+    def test_let_qualifier_binds_downstream(self):
+        assert fv("[ v | i <- [1..3], let v = i * s ]") == {"s"}
+
+    def test_nested_comprehension(self):
+        assert fv("[* [ i := a!(i-1) ] | i <- [1..n] *]") == {"a", "n"}
+
+    def test_index_and_pair(self):
+        assert fv("a!(i, j) ") == {"a", "i", "j"}
+        assert fv("s := v") == {"s", "v"}
+
+    def test_where(self):
+        assert fv("x + v where v = y") == {"x", "y"}
+
+    def test_paper_wavefront_free_vars(self):
+        from repro.kernels import WAVEFRONT
+
+        # Only the size parameter is free; 'a' is letrec*-bound.
+        assert fv(WAVEFRONT) == {"n", "array"}
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        expr = parse_expr("1 + f 2")
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds[0] == "BinOp"
+        assert "App" in kinds and "Lit" in kinds
+
+    def test_children_skips_pos(self):
+        expr = parse_expr("(1, 2, 3)")
+        assert len(expr.children()) == 3
+
+    def test_walk_covers_qualifiers(self):
+        expr = parse_expr("[ i | i <- [1..n], i > 2 ]")
+        names = {n.name for n in expr.walk() if isinstance(n, ast.Var)}
+        assert names == {"i", "n"}

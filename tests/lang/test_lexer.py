@@ -1,0 +1,95 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_integer(self):
+        assert kinds("42") == [("int", "42")]
+        assert tokenize("42")[0].value == 42
+
+    def test_float(self):
+        assert tokenize("2.5")[0].value == 2.5
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-1")[0].value == 0.25
+
+    def test_dotdot_not_a_float(self):
+        # '1..n' must lex as int, '..', ident — not a float.
+        assert kinds("1..5") == [("int", "1"), ("op", ".."), ("int", "5")]
+
+    def test_identifier(self):
+        assert kinds("foo_bar'") == [("ident", "foo_bar'")]
+
+    def test_keywords(self):
+        for kw in ("let", "letrec", "in", "if", "then", "else", "where"):
+            assert kinds(kw) == [("kw", kw)]
+
+    def test_letrec_star(self):
+        assert kinds("letrec*") == [("kw", "letrec*")]
+
+    def test_booleans_are_keywords(self):
+        assert kinds("True False") == [("kw", "True"), ("kw", "False")]
+
+    def test_comment_to_end_of_line(self):
+        assert kinds("1 -- comment here\n2") == [("int", "1"), ("int", "2")]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestOperators:
+    def test_multichar_longest_match(self):
+        assert kinds(":=") == [("op", ":=")]
+        assert kinds("<-") == [("op", "<-")]
+        assert kinds("<=") == [("op", "<=")]
+        assert kinds("++") == [("op", "++")]
+        assert kinds("/=") == [("op", "/=")]
+
+    def test_nested_comp_brackets(self):
+        assert kinds("[* *]") == [("op", "[*"), ("op", "*]")]
+
+    def test_star_bracket_closes_after_expression(self):
+        toks = kinds("i*2 *]")
+        assert toks == [
+            ("ident", "i"), ("op", "*"), ("int", "2"), ("op", "*]"),
+        ]
+
+    def test_index_operator(self):
+        assert kinds("a!i") == [("ident", "a"), ("op", "!"), ("ident", "i")]
+
+    def test_arrow_and_lambda(self):
+        assert kinds("\\x -> x") == [
+            ("op", "\\"), ("ident", "x"), ("op", "->"), ("ident", "x"),
+        ]
+
+    def test_helpers(self):
+        token = tokenize(":=")[0]
+        assert token.is_op(":=")
+        assert token.is_op("+", ":=")
+        assert not token.is_op("+")
+        assert not token.is_kw("let")
+
+    def test_paper_wavefront_lexes(self):
+        src = "[ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ]"
+        tokens = tokenize(src)
+        assert tokens[-1].kind == "eof"
+        assert any(t.is_op(":=") for t in tokens)
+        assert any(t.is_op("<-") for t in tokens)

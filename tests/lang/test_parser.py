@@ -1,0 +1,244 @@
+"""Tests for the parser: grammar coverage and paper syntax."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_program
+
+
+class TestAtoms:
+    def test_literals(self):
+        assert parse_expr("42") == ast.Lit(42)
+        assert parse_expr("2.5") == ast.Lit(2.5)
+        assert parse_expr("True") == ast.Lit(True)
+
+    def test_variable(self):
+        assert parse_expr("x") == ast.Var("x")
+
+    def test_parenthesized(self):
+        assert parse_expr("(x)") == ast.Var("x")
+
+    def test_tuple(self):
+        assert parse_expr("(1, 2)") == ast.TupleExpr([ast.Lit(1), ast.Lit(2)])
+        assert isinstance(parse_expr("(i, j, k)"), ast.TupleExpr)
+
+    def test_list(self):
+        assert parse_expr("[]") == ast.ListExpr([])
+        assert parse_expr("[1]") == ast.ListExpr([ast.Lit(1)])
+        assert parse_expr("[1, 2, 3]") == ast.ListExpr(
+            [ast.Lit(1), ast.Lit(2), ast.Lit(3)]
+        )
+
+
+class TestOperators:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 2 - 3")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "-"
+
+    def test_append_right_associative(self):
+        e = parse_expr("a ++ b ++ c")
+        assert isinstance(e, ast.Append)
+        assert isinstance(e.right, ast.Append)
+
+    def test_unary_minus(self):
+        e = parse_expr("-x + 1")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.UnOp)
+
+    def test_comparison(self):
+        e = parse_expr("i + 1 <= n")
+        assert e.op == "<="
+
+    def test_logical(self):
+        e = parse_expr("a && b || c")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_index_binds_looser_than_application(self):
+        e = parse_expr("f a ! i")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.arr, ast.App)
+
+    def test_index_in_arithmetic(self):
+        e = parse_expr("a!(i-1) + a!(i+1)")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.Index)
+
+    def test_sv_pair_lowest(self):
+        e = parse_expr("3*i - 1 := a!(i-1) + 2")
+        assert isinstance(e, ast.SVPair)
+        assert isinstance(e.sub, ast.BinOp)
+        assert isinstance(e.val, ast.BinOp)
+
+    def test_application(self):
+        e = parse_expr("f x y")
+        assert isinstance(e, ast.App)
+        assert e.fn == ast.Var("f")
+        assert len(e.args) == 2
+
+
+class TestSequences:
+    def test_unit_stride(self):
+        e = parse_expr("[1..n]")
+        assert isinstance(e, ast.EnumSeq)
+        assert e.second is None
+
+    def test_explicit_stride(self):
+        e = parse_expr("[1,3..n]")
+        assert e.second == ast.Lit(3)
+
+    def test_backward(self):
+        e = parse_expr("[20,19..1]")
+        assert isinstance(e, ast.EnumSeq)
+        assert e.stop == ast.Lit(1)
+
+
+class TestComprehensions:
+    def test_simple(self):
+        e = parse_expr("[ i*i | i <- [1..n] ]")
+        assert isinstance(e, ast.Comp)
+        assert len(e.quals) == 1
+        assert isinstance(e.quals[0], ast.Generator)
+
+    def test_multiple_generators(self):
+        e = parse_expr("[ (i,j) := 0 | i <- [1..n], j <- [1..n] ]")
+        assert len(e.quals) == 2
+
+    def test_guard(self):
+        e = parse_expr("[ i | i <- [1..n], i > 2 ]")
+        assert isinstance(e.quals[1], ast.Guard)
+
+    def test_let_qualifier(self):
+        e = parse_expr("[ v | i <- [1..n], let v = i + 1 ]")
+        assert isinstance(e.quals[1], ast.LetQual)
+
+    def test_let_qualifier_then_generator(self):
+        e = parse_expr("[* [1 := v] | let v = 2; i <- [1..3] *]")
+        assert isinstance(e.quals[0], ast.LetQual)
+        assert isinstance(e.quals[1], ast.Generator)
+
+    def test_nested_comprehension(self):
+        e = parse_expr("[* [ 3*i := 1 ] ++ [ 3*i-1 := 2 ] | i <- [1..n] *]")
+        assert isinstance(e, ast.NestedComp)
+        assert isinstance(e.body, ast.Append)
+
+    def test_nested_comprehension_without_quals(self):
+        e = parse_expr("[* [1 := 2] *]")
+        assert isinstance(e, ast.NestedComp)
+        assert e.quals == []
+
+    def test_nested_inside_nested(self):
+        e = parse_expr(
+            "[* [* [ (i,j) := 0 ] | j <- [1..m] *] | i <- [1..n] *]"
+        )
+        assert isinstance(e.body, ast.NestedComp)
+
+
+class TestBindingsAndLet:
+    def test_let(self):
+        e = parse_expr("let x = 1 in x + 1")
+        assert e.kind == "let"
+        assert e.binds[0].name == "x"
+
+    def test_letrec_star(self):
+        e = parse_expr("letrec* a = array (1,3) [ i := i | i <- [1..3] ] in a")
+        assert e.kind == "letrec*"
+
+    def test_multiple_bindings(self):
+        e = parse_expr("let x = 1; y = x + 1 in y")
+        assert [b.name for b in e.binds] == ["x", "y"]
+
+    def test_function_binding_desugars_to_lambda(self):
+        e = parse_expr("let f x y = x + y in f 1 2")
+        assert isinstance(e.binds[0].expr, ast.Lam)
+        assert e.binds[0].params == ["x", "y"]
+
+    def test_where_desugars_to_let(self):
+        e = parse_expr("x + v where v = 3")
+        assert isinstance(e, ast.Let)
+        assert e.binds[0].name == "v"
+        assert isinstance(e.body, ast.BinOp)
+
+    def test_where_inside_comprehension_head(self):
+        e = parse_expr("[ i := v where v = i * 2 | i <- [1..3] ]")
+        assert isinstance(e.head, ast.Let)
+
+    def test_lambda(self):
+        e = parse_expr("\\x y -> x * y")
+        assert isinstance(e, ast.Lam)
+        assert e.params == ["x", "y"]
+
+    def test_if(self):
+        e = parse_expr("if x > 0 then 1 else 0")
+        assert isinstance(e, ast.If)
+
+    def test_if_as_operand(self):
+        e = parse_expr("1 + (if b then 2 else 3)")
+        assert isinstance(e.right, ast.If)
+
+
+class TestPrograms:
+    def test_single_binding(self):
+        binds = parse_program("main = 1 + 2")
+        assert len(binds) == 1
+        assert binds[0].name == "main"
+
+    def test_several_bindings(self):
+        binds = parse_program("f x = x * 2; main = f 21")
+        assert [b.name for b in binds] == ["f", "main"]
+
+
+class TestPaperSources:
+    def test_wavefront(self):
+        from repro.kernels import WAVEFRONT
+
+        e = parse_expr(WAVEFRONT)
+        assert isinstance(e, ast.Let)
+        assert e.kind == "letrec*"
+        body = e.binds[0].expr
+        assert isinstance(body, ast.App)
+        assert body.fn == ast.Var("array")
+
+    def test_all_catalog_kernels_parse(self):
+        from repro.kernels import CATALOG
+
+        for name, entry in CATALOG.items():
+            parse_expr(entry["source"])
+
+    def test_paper_sum_example(self):
+        e = parse_expr("sum [ a!k * b!k | k <- [1..n] ]")
+        assert isinstance(e, ast.App)
+        assert isinstance(e.args[0], ast.Comp)
+
+
+class TestErrors:
+    def test_unclosed_bracket(self):
+        with pytest.raises(ParseError):
+            parse_expr("[1, 2")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 )")
+
+    def test_missing_in(self):
+        with pytest.raises(ParseError):
+            parse_expr("let x = 1 x")
+
+    def test_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+    def test_error_carries_position(self):
+        try:
+            parse_expr("1 +\n  )")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:
+            raise AssertionError("expected ParseError")

@@ -1,0 +1,51 @@
+"""Tests for accumulated arrays (paper §3, §7)."""
+
+import operator
+
+from repro.runtime.accum import accum_array
+
+
+class TestAccumArray:
+    def test_histogram(self):
+        data = [1, 2, 2, 3, 3, 3, 0, 0]
+        h = accum_array(operator.add, 0, (0, 3), ((d, 1) for d in data))
+        assert h.to_list() == [2, 1, 2, 3]
+
+    def test_default_fills_untouched_elements(self):
+        a = accum_array(operator.add, -1, (1, 4), [(2, 5)])
+        assert a.to_list() == [-1, 4, -1, -1]
+
+    def test_multiple_definitions_combined(self):
+        a = accum_array(operator.add, 0, (1, 2), [(1, 1), (1, 2), (1, 3)])
+        assert a.at(1) == 6
+
+    def test_non_commutative_order_preserved(self):
+        # Paper §7: with a non-commutative combining function the order
+        # of the subscript/value pairs is semantically significant.
+        def f(acc, v):
+            return acc * 10 + v
+
+        a = accum_array(f, 0, (1, 1), [(1, 1), (1, 2), (1, 3)])
+        assert a.at(1) == 123
+        b = accum_array(f, 0, (1, 1), [(1, 3), (1, 2), (1, 1)])
+        assert b.at(1) == 321
+        assert a.at(1) != b.at(1)
+
+    def test_max_accumulation(self):
+        a = accum_array(max, float("-inf"), (0, 1),
+                        [(0, 3.0), (0, 7.0), (1, -2.0), (0, 5.0)])
+        assert a.to_list() == [7.0, -2.0]
+
+    def test_two_dimensional(self):
+        pairs = [((i % 2, i % 3), 1) for i in range(12)]
+        a = accum_array(operator.add, 0, ((0, 0), (1, 2)), pairs)
+        assert sum(a.to_list()) == 12
+        assert a.at((0, 0)) == 2
+
+    def test_callable_values_forced(self):
+        a = accum_array(operator.add, 0, (1, 1), [(1, lambda: 9)])
+        assert a.at(1) == 9
+
+    def test_result_is_strict(self):
+        a = accum_array(operator.add, 0, (1, 2), [])
+        assert a.to_list() == [0, 0]

@@ -1,0 +1,122 @@
+"""Tests for repro.runtime.bounds (Haskell Ix-style bounds)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.bounds import Bounds
+from repro.runtime.errors import BoundsError
+
+
+class TestConstruction:
+    def test_one_dimensional(self):
+        b = Bounds(1, 10)
+        assert b.rank == 1
+        assert b.size() == 10
+
+    def test_two_dimensional(self):
+        b = Bounds((1, 1), (3, 4))
+        assert b.rank == 2
+        assert b.size() == 12
+
+    def test_three_dimensional(self):
+        b = Bounds((0, 0, 0), (1, 2, 3))
+        assert b.size() == 2 * 3 * 4
+
+    def test_empty_range(self):
+        assert Bounds(5, 4).size() == 0
+
+    def test_empty_dimension_zeroes_size(self):
+        assert Bounds((1, 5), (3, 4)).size() == 0
+
+    def test_singleton(self):
+        b = Bounds(7, 7)
+        assert b.size() == 1
+        assert list(b.range()) == [7]
+
+    def test_negative_lower_bound(self):
+        b = Bounds(-3, 3)
+        assert b.size() == 7
+        assert b.index(-3) == 0
+        assert b.index(3) == 6
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Bounds((1, 1), 5)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            Bounds(1.5, 3)
+
+
+class TestIndexing:
+    def test_row_major_order(self):
+        b = Bounds((1, 1), (2, 3))
+        subs = list(b.range())
+        assert subs == [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)]
+        for offset, sub in enumerate(subs):
+            assert b.index(sub) == offset
+
+    def test_one_dim_range_yields_ints(self):
+        assert list(Bounds(2, 5).range()) == [2, 3, 4, 5]
+
+    def test_out_of_bounds_raises(self):
+        b = Bounds((1, 1), (3, 3))
+        with pytest.raises(BoundsError):
+            b.index((0, 2))
+        with pytest.raises(BoundsError):
+            b.index((2, 4))
+
+    def test_wrong_rank_subscript_raises(self):
+        with pytest.raises(BoundsError):
+            Bounds((1, 1), (3, 3)).index(2)
+
+    def test_in_range(self):
+        b = Bounds((1, 1), (3, 3))
+        assert b.in_range((2, 2))
+        assert not b.in_range((3, 4))
+        assert (1, 3) in b
+        assert (4, 1) not in b
+
+    def test_extent(self):
+        b = Bounds((1, 2), (4, 2))
+        assert b.extent(0) == 4
+        assert b.extent(1) == 1
+
+
+class TestEquality:
+    def test_equal(self):
+        assert Bounds(1, 5) == Bounds(1, 5)
+        assert Bounds((1, 1), (2, 2)) == Bounds((1, 1), (2, 2))
+
+    def test_unequal(self):
+        assert Bounds(1, 5) != Bounds(1, 6)
+
+    def test_hashable(self):
+        assert len({Bounds(1, 5), Bounds(1, 5), Bounds(1, 6)}) == 2
+
+    def test_normalize(self):
+        assert Bounds(1, 5).normalize((3,)) == 3
+        assert Bounds((1, 1), (2, 2)).normalize((1, 2)) == (1, 2)
+
+
+@given(
+    lo=st.integers(-20, 20),
+    extent=st.integers(0, 30),
+)
+def test_index_is_bijective_1d(lo, extent):
+    b = Bounds(lo, lo + extent - 1)
+    offsets = [b.index(s) for s in b.range()]
+    assert offsets == list(range(b.size()))
+
+
+@given(
+    lo1=st.integers(-5, 5),
+    lo2=st.integers(-5, 5),
+    e1=st.integers(1, 8),
+    e2=st.integers(1, 8),
+)
+def test_index_is_bijective_2d(lo1, lo2, e1, e2):
+    b = Bounds((lo1, lo2), (lo1 + e1 - 1, lo2 + e2 - 1))
+    offsets = [b.index(s) for s in b.range()]
+    assert offsets == list(range(b.size()))
+    assert b.size() == e1 * e2

@@ -1,0 +1,146 @@
+"""Tests for incremental arrays: copy / trailer / refcount (paper §9)."""
+
+import pytest
+
+from repro.runtime.incremental import (
+    STATS,
+    RefCountedArray,
+    TrailerArray,
+    VersionedArray,
+    bigupd,
+    upd,
+)
+
+
+class TestVersionedCopySemantics:
+    def test_update_preserves_old_version(self):
+        a = VersionedArray.from_list((1, 3), [1, 2, 3])
+        b = upd(a, 2, 99)
+        assert a.to_list() == [1, 2, 3]
+        assert b.to_list() == [1, 99, 3]
+
+    def test_every_update_copies_whole_array(self):
+        STATS.reset()
+        a = VersionedArray.from_list((1, 10), list(range(10)))
+        a = upd(a, 1, -1)
+        a = upd(a, 2, -2)
+        assert STATS.arrays_copied == 2
+        assert STATS.cells_copied == 20
+
+    def test_bigupd_fold_semantics(self):
+        a = VersionedArray.from_list((1, 4), [0, 0, 0, 0])
+        b = bigupd(a, [(1, 10), (3, 30), (1, 11)])
+        assert b.to_list() == [11, 0, 30, 0]  # later pair wins (foldl)
+        assert a.to_list() == [0, 0, 0, 0]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VersionedArray.from_list((1, 3), [1, 2])
+
+
+class TestTrailers:
+    def test_newest_version_updates_in_constant_space(self):
+        STATS.reset()
+        a = TrailerArray.from_list((1, 5), [0, 0, 0, 0, 0])
+        b = upd(a, 3, 7)
+        c = upd(b, 1, 9)
+        assert STATS.arrays_copied == 0  # single-threaded: no copies
+        assert c.to_list() == [9, 0, 7, 0, 0]
+
+    def test_old_versions_remain_readable(self):
+        a = TrailerArray.from_list((1, 3), [1, 2, 3])
+        b = upd(a, 2, 20)
+        c = upd(b, 2, 200)
+        assert a.at(2) == 2
+        assert b.at(2) == 20
+        assert c.at(2) == 200
+        assert a.to_list() == [1, 2, 3]
+
+    def test_updating_old_version_copies(self):
+        STATS.reset()
+        a = TrailerArray.from_list((1, 4), [1, 2, 3, 4])
+        upd(a, 1, 10)          # a becomes an old version
+        d = upd(a, 4, 40)      # update through the trailer: rebuild
+        assert STATS.arrays_copied == 1
+        assert d.to_list() == [1, 2, 3, 40]
+        assert d.at(1) == 1    # the other update is not visible
+
+    def test_long_trailer_chain(self):
+        a = TrailerArray.from_list((1, 2), [0, 0])
+        versions = [a]
+        for k in range(1, 6):
+            versions.append(upd(versions[-1], 1, k))
+        for k, version in enumerate(versions):
+            assert version.at(1) == (0 if k == 0 else k)
+
+
+class TestRefCounting:
+    def test_unshared_updates_in_place(self):
+        STATS.reset()
+        a = RefCountedArray.from_list((1, 3), [1, 2, 3])
+        b = upd(a, 1, 9)
+        assert b is a  # mutated in place
+        assert STATS.arrays_copied == 0
+
+    def test_shared_update_copies(self):
+        STATS.reset()
+        a = RefCountedArray.from_list((1, 3), [1, 2, 3])
+        a.share()
+        b = upd(a, 1, 9)
+        assert b is not a
+        assert a.to_list() == [1, 2, 3]
+        assert b.to_list() == [9, 2, 3]
+        assert STATS.arrays_copied == 1
+
+    def test_share_release_cycle(self):
+        a = RefCountedArray.from_list((1, 1), [0])
+        a.share()
+        assert a.refcount == 2
+        a.release()
+        assert a.refcount == 1
+        b = upd(a, 1, 5)
+        assert b is a
+
+    def test_release_dead_array_rejected(self):
+        a = RefCountedArray.from_list((1, 1), [0])
+        a.release()
+        with pytest.raises(ValueError):
+            a.release()
+
+    def test_copy_decrements_original_count(self):
+        a = RefCountedArray.from_list((1, 1), [0])
+        a.share()
+        upd(a, 1, 1)
+        assert a.refcount == 1
+
+
+class TestBigupdAcrossRepresentations:
+    def test_same_result_all_strategies(self):
+        pairs = [(2, 20), (4, 40), (2, 21)]
+        base = [1, 2, 3, 4, 5]
+        expected = [1, 21, 3, 40, 5]
+        for cls in (VersionedArray, TrailerArray, RefCountedArray):
+            a = cls.from_list((1, 5), list(base))
+            assert bigupd(a, pairs).to_list() == expected
+
+    def test_copy_traffic_ordering(self):
+        # Copy semantics must copy the most, refcount (single-threaded)
+        # the least — the paper's motivation for update analysis.
+        base = list(range(50))
+        pairs = [(i, -i) for i in range(1, 26)]
+
+        STATS.reset()
+        bigupd(VersionedArray.from_list((0, 49), list(base)), pairs)
+        copy_cells = STATS.cells_copied
+
+        STATS.reset()
+        bigupd(TrailerArray.from_list((0, 49), list(base)), pairs)
+        trailer_cells = STATS.cells_copied
+
+        STATS.reset()
+        bigupd(RefCountedArray.from_list((0, 49), list(base)), pairs)
+        refcount_cells = STATS.cells_copied
+
+        assert copy_cells == 25 * 50
+        assert trailer_cells == 0
+        assert refcount_cells == 0

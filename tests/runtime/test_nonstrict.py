@@ -1,0 +1,142 @@
+"""Tests for non-strict monolithic arrays (paper §2, §3 semantics)."""
+
+import pytest
+
+from repro.runtime.bounds import Bounds
+from repro.runtime.errors import (
+    BlackHoleError,
+    BoundsError,
+    UndefinedElementError,
+    WriteCollisionError,
+)
+from repro.runtime.nonstrict import NonStrictArray, recursive_array
+from repro.runtime.thunks import Thunk
+
+
+class TestConstruction:
+    def test_plain_values(self):
+        a = NonStrictArray((1, 3), [(1, 10), (2, 20), (3, 30)])
+        assert a.to_list() == [10, 20, 30]
+
+    def test_callable_values_are_delayed(self):
+        ran = []
+        a = NonStrictArray((1, 2), [
+            (1, lambda: ran.append(1) or "one"),
+            (2, lambda: ran.append(2) or "two"),
+        ])
+        assert ran == []  # nothing evaluated at construction
+        assert a.at(2) == "two"
+        assert ran == [2]
+
+    def test_accepts_bounds_object(self):
+        a = NonStrictArray(Bounds((0, 0), (1, 1)),
+                           [((i, j), i + j) for i in (0, 1) for j in (0, 1)])
+        assert a.at((1, 1)) == 2
+
+    def test_collision_detected_at_construction(self):
+        with pytest.raises(WriteCollisionError):
+            NonStrictArray((1, 3), [(1, 0), (1, 1)])
+
+    def test_out_of_bounds_subscript_rejected(self):
+        with pytest.raises(BoundsError):
+            NonStrictArray((1, 3), [(4, 0)])
+
+    def test_order_of_pairs_is_irrelevant(self):
+        a = NonStrictArray((1, 3), [(3, "c"), (1, "a"), (2, "b")])
+        assert a.to_list() == ["a", "b", "c"]
+
+
+class TestDemand:
+    def test_empty_element_raises_on_demand_only(self):
+        a = NonStrictArray((1, 3), [(1, 0), (3, 0)])
+        assert a.at(1) == 0  # fine
+        with pytest.raises(UndefinedElementError):
+            a.at(2)
+
+    def test_getitem(self):
+        a = NonStrictArray((1, 2), [(1, 5), (2, 6)])
+        assert a[1] == 5
+
+    def test_is_defined_and_is_evaluated(self):
+        a = NonStrictArray((1, 2), [(1, lambda: 9)])
+        assert a.is_defined(1)
+        assert not a.is_defined(2)
+        assert not a.is_evaluated(1)
+        a.at(1)
+        assert a.is_evaluated(1)
+
+    def test_memoization_of_elements(self):
+        runs = []
+        a = NonStrictArray((1, 1), [(1, lambda: runs.append(1) or 7)])
+        a.at(1)
+        a.at(1)
+        assert len(runs) == 1
+
+    def test_thunk_values_accepted(self):
+        a = NonStrictArray((1, 1), [(1, Thunk(lambda: 3))])
+        assert a.at(1) == 3
+
+    def test_assocs_and_indices(self):
+        a = NonStrictArray((1, 2), [(1, "x"), (2, "y")])
+        assert list(a.indices()) == [1, 2]
+        assert list(a.assocs()) == [(1, "x"), (2, "y")]
+        assert len(a) == 2
+
+
+class TestRecursive:
+    def test_simple_recurrence(self):
+        a = recursive_array((1, 5), lambda a: (
+            [(1, 1)]
+            + [(i, (lambda i=i: a[i - 1] * 2)) for i in range(2, 6)]
+        ))
+        assert a.to_list() == [1, 2, 4, 8, 16]
+
+    def test_demand_order_does_not_matter(self):
+        a = recursive_array((1, 5), lambda a: (
+            [(1, 1)]
+            + [(i, (lambda i=i: a[i - 1] + 1)) for i in range(2, 6)]
+        ))
+        # Demand the last element first: dependencies pull in the rest.
+        assert a.at(5) == 5
+        assert a.at(2) == 2
+
+    def test_backward_recurrence(self):
+        a = recursive_array((1, 4), lambda a: (
+            [(4, 10)]
+            + [(i, (lambda i=i: a[i + 1] - 1)) for i in range(1, 4)]
+        ))
+        assert a.to_list() == [7, 8, 9, 10]
+
+    def test_self_dependent_element_is_blackhole(self):
+        a = recursive_array((1, 1), lambda a: [(1, lambda: a[1])])
+        with pytest.raises(BlackHoleError):
+            a.at(1)
+
+    def test_proxy_exposes_bounds(self):
+        captured = {}
+
+        def build(a):
+            captured["proxy"] = a
+            return [(1, 0)]
+
+        result = recursive_array((1, 1), build)
+        assert captured["proxy"].bounds == result.bounds
+
+    def test_wavefront_two_dimensional(self):
+        n = 4
+
+        def build(a):
+            pairs = [((1, j), 1) for j in range(1, n + 1)]
+            pairs += [((i, 1), 1) for i in range(2, n + 1)]
+            pairs += [
+                ((i, j), (lambda i=i, j=j:
+                          a[(i - 1, j)] + a[(i, j - 1)] + a[(i - 1, j - 1)]))
+                for i in range(2, n + 1)
+                for j in range(2, n + 1)
+            ]
+            return pairs
+
+        a = recursive_array(((1, 1), (n, n)), build)
+        assert a.at((2, 2)) == 3
+        assert a.at((3, 3)) == 13
+        assert a.at((4, 4)) == 63

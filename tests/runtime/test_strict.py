@@ -1,0 +1,82 @@
+"""Tests for strict arrays: a!i = bottom implies a = bottom (paper §2)."""
+
+import pytest
+
+from repro.runtime.errors import (
+    BlackHoleError,
+    UndefinedElementError,
+    WriteCollisionError,
+)
+from repro.runtime.nonstrict import recursive_array
+from repro.runtime.strict import StrictArray
+
+
+class TestStrictness:
+    def test_all_elements_evaluated_at_construction(self):
+        ran = []
+        StrictArray((1, 2), [
+            (1, lambda: ran.append(1) or 1),
+            (2, lambda: ran.append(2) or 2),
+        ])
+        assert sorted(ran) == [1, 2]
+
+    def test_failing_element_fails_whole_array(self):
+        def boom():
+            raise ValueError("element bottom")
+
+        with pytest.raises(ValueError):
+            StrictArray((1, 2), [(1, 0), (2, boom)])
+
+    def test_empty_element_fails_whole_array(self):
+        with pytest.raises(UndefinedElementError):
+            StrictArray((1, 3), [(1, 0), (3, 0)])
+
+    def test_collision_fails(self):
+        with pytest.raises(WriteCollisionError):
+            StrictArray((1, 2), [(1, 0), (1, 1), (2, 2)])
+
+    def test_recursively_defined_strict_array_is_bottom(self):
+        # Paper §2: a recursively defined strict array never terminates
+        # (here: blackholes), even when a lazy version would be fine.
+        def build(a):
+            return [(1, 1)] + [
+                (i, (lambda i=i: a[i - 1] + 1)) for i in range(2, 4)
+            ]
+
+        lazy = recursive_array((1, 3), build)
+        assert lazy.to_list() == [1, 2, 3]  # the lazy version works
+
+        def strict_build():
+            cell = []
+
+            class Proxy:
+                def __getitem__(self, s):
+                    return cell[0].at(s)
+
+            proxy = Proxy()
+            pairs = [(1, 1)] + [
+                (i, (lambda i=i: proxy[i - 1] + 1)) for i in range(2, 4)
+            ]
+            cell.append(StrictArray((1, 3), pairs))
+            return cell[0]
+
+        # The strict constructor forces elements while the array is
+        # still being built: the recursive reference is bottom.
+        with pytest.raises((BlackHoleError, IndexError)):
+            strict_build()
+
+
+class TestAccess:
+    def test_values(self):
+        a = StrictArray((1, 3), [(2, "b"), (1, "a"), (3, "c")])
+        assert a.to_list() == ["a", "b", "c"]
+        assert a[2] == "b"
+        assert list(a.assocs()) == [(1, "a"), (2, "b"), (3, "c")]
+        assert len(a) == 3
+
+    def test_two_dimensional(self):
+        a = StrictArray(((1, 1), (2, 2)), [
+            ((i, j), 10 * i + j) for i in (1, 2) for j in (1, 2)
+        ])
+        assert a.at((2, 1)) == 21
+        assert list(a.elems()) == [11, 12, 21, 22]

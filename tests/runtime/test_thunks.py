@@ -1,0 +1,92 @@
+"""Tests for repro.runtime.thunks (memoization, blackholing, stats)."""
+
+import pytest
+
+from repro.runtime.errors import BlackHoleError
+from repro.runtime.thunks import STATS, Thunk, delay, force
+
+
+class TestForce:
+    def test_non_thunk_passes_through(self):
+        assert force(42) == 42
+        assert force("x") == "x"
+        assert force(None) is None
+
+    def test_thunk_computes(self):
+        t = Thunk(lambda: 10 + 7)
+        assert force(t) == 17
+
+    def test_memoization_runs_once(self):
+        calls = []
+        t = Thunk(lambda: calls.append(1) or 99)
+        assert t.force() == 99
+        assert t.force() == 99
+        assert len(calls) == 1
+
+    def test_nested_thunks_collapse(self):
+        t = Thunk(lambda: Thunk(lambda: Thunk(lambda: 5)))
+        assert force(t) == 5
+
+    def test_evaluated_flag(self):
+        t = Thunk(lambda: 1)
+        assert not t.evaluated
+        t.force()
+        assert t.evaluated
+
+    def test_delay_synonym(self):
+        assert force(delay(lambda: 3)) == 3
+
+
+class TestBlackHole:
+    def test_self_dependent_thunk_raises(self):
+        cell = []
+        cell.append(Thunk(lambda: cell[0].force() + 1))
+        with pytest.raises(BlackHoleError):
+            cell[0].force()
+
+    def test_mutual_cycle_raises(self):
+        cell = {}
+        cell["a"] = Thunk(lambda: cell["b"].force())
+        cell["b"] = Thunk(lambda: cell["a"].force())
+        with pytest.raises(BlackHoleError):
+            cell["a"].force()
+
+    def test_error_leaves_thunk_rerunnable(self):
+        state = {"fail": True}
+
+        def compute():
+            if state["fail"]:
+                raise ValueError("transient")
+            return 11
+
+        t = Thunk(compute)
+        with pytest.raises(ValueError):
+            t.force()
+        state["fail"] = False
+        assert t.force() == 11
+
+
+class TestStats:
+    def test_counters(self):
+        STATS.reset()
+        t1 = Thunk(lambda: 1)
+        t2 = Thunk(lambda: 2)
+        assert STATS.created == 2
+        t1.force()
+        t1.force()
+        t2.force()
+        assert STATS.forced == 2
+        assert STATS.hits == 1
+
+    def test_snapshot(self):
+        STATS.reset()
+        Thunk(lambda: 0)
+        snap = STATS.snapshot()
+        assert snap == {"created": 1, "forced": 0, "hits": 0}
+
+    def test_reset(self):
+        Thunk(lambda: 0)
+        STATS.reset()
+        assert STATS.created == 0
+        assert STATS.forced == 0
+        assert STATS.hits == 0

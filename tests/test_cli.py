@@ -1,0 +1,81 @@
+"""The ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def squares_file(tmp_path):
+    path = tmp_path / "squares.hs"
+    path.write_text(
+        "letrec* a = array (1,n) [ i := i*i | i <- [1..n] ] in a"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def wavefront_file(tmp_path):
+    from repro.kernels import WAVEFRONT
+
+    path = tmp_path / "wavefront.hs"
+    path.write_text(WAVEFRONT)
+    return str(path)
+
+
+class TestCommands:
+    def test_run(self, squares_file, capsys):
+        assert main(["run", squares_file, "-p", "n=4"]) == 0
+        assert "[1, 4, 9, 16]" in capsys.readouterr().out
+
+    def test_oracle_matches_run(self, squares_file, capsys):
+        main(["run", squares_file, "-p", "n=4"])
+        run_out = capsys.readouterr().out
+        main(["oracle", squares_file, "-p", "n=4"])
+        assert capsys.readouterr().out == run_out
+
+    def test_analyze(self, wavefront_file, capsys):
+        assert main(["analyze", wavefront_file, "-p", "n=5"]) == 0
+        out = capsys.readouterr().out
+        assert "3 -> 3 (<,=)" in out
+        assert "collisions: none" in out
+        assert "forward" in out
+
+    def test_compile_prints_source(self, squares_file, capsys):
+        assert main(["compile", squares_file, "-p", "n=4"]) == 0
+        out = capsys.readouterr().out
+        assert "def _build(_env):" in out
+        assert "strategy: thunkless" in out
+
+    def test_compile_vectorize(self, squares_file, capsys):
+        assert main(
+            ["compile", squares_file, "-p", "n=4", "--vectorize"]
+        ) == 0
+        assert "_vslice(" in capsys.readouterr().out
+
+    def test_forced_thunked(self, squares_file, capsys):
+        assert main(
+            ["compile", squares_file, "-p", "n=4",
+             "--strategy", "thunked"]
+        ) == 0
+        assert "NonStrictArray" in capsys.readouterr().out
+
+    def test_two_dimensional_grid_output(self, wavefront_file, capsys):
+        main(["run", wavefront_file, "-p", "n=3"])
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+    def test_bad_param(self, squares_file):
+        with pytest.raises(SystemExit):
+            main(["run", squares_file, "-p", "n"])
+
+    def test_inplace_compile(self, tmp_path, capsys):
+        from repro.kernels import JACOBI
+
+        path = tmp_path / "jacobi.hs"
+        path.write_text(JACOBI)
+        assert main(
+            ["compile", str(path), "-p", "m=8", "--inplace", "u"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "_snap_" in out  # node-splitting rings present

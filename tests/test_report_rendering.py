@@ -1,0 +1,86 @@
+"""Rendering of dependence graphs and schedules (repro.report)."""
+
+from repro import analyze
+from repro.core.dependence import ANTI, FLOW, OUTPUT, DepEdge
+from repro.comprehension.build import build_array_comp, find_array_comp
+from repro.core.dependence import anti_edges
+from repro.lang.parser import parse_expr
+from repro.report import render_dot, render_edges, render_schedule
+
+
+def comp_of(src, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(parse_expr(src))
+    return build_array_comp(name, bounds_ast, pairs_ast, params)
+
+
+class TestRenderEdges:
+    def test_paper_notation(self):
+        report = analyze(
+            "letrec a = array (1,10) "
+            "[* [ i := (if i > 1 then a!(i-1) else 0) ] | i <- [1..10] *] "
+            "in a"
+        )
+        assert render_edges(report.edges) == "1 -> 1 (<)"
+
+    def test_anti_edges_marked(self):
+        from repro.kernels import SWAP
+
+        comp = comp_of(SWAP, {"m": 4, "n": 4, "i": 1, "k": 2})
+        text = render_edges(anti_edges(comp, "a"))
+        assert "anti" in text
+        assert "1 -> 2 (=)" in text
+
+    def test_empty(self):
+        assert render_edges([]) == ""
+
+
+class TestRenderDot:
+    def test_structure(self):
+        report = analyze(
+            "letrec a = array (1,20) "
+            "[* [ 2*i := a!(2*i - 1) ] ++ [ 2*i - 1 := 1 ] "
+            "| i <- [1..10] *] in a"
+        )
+        dot = render_dot(report.edges, name="example")
+        assert dot.startswith("digraph example {")
+        assert dot.endswith("}")
+        assert 'c2 -> c1 [label="(=)", style=solid];' in dot
+        assert 'label="clause 1"' in dot
+
+    def test_edge_styles_by_kind(self):
+        from repro.kernels import GAUSS_SEIDEL
+        from repro.core.dependence import flow_edges
+
+        comp = comp_of(GAUSS_SEIDEL, {"m": 6})
+        mixed = flow_edges(comp) + anti_edges(comp, "u")
+        dot = render_dot(mixed)
+        assert "style=solid" in dot
+        assert "style=dashed" in dot
+
+
+class TestRenderSchedule:
+    def test_nested_indentation(self):
+        from repro.kernels import WAVEFRONT
+
+        report = analyze(WAVEFRONT, {"n": 5})
+        text = render_schedule(report.schedule)
+        lines = text.splitlines()
+        assert any(line.startswith("loop i") for line in lines)
+        assert any(line.startswith("  loop j") for line in lines)
+        assert any("compute clause 3" in line for line in lines)
+
+    def test_multi_pass_rendering(self):
+        from repro.kernels import ABC_ACYCLIC
+
+        report = analyze(ABC_ACYCLIC)
+        text = render_schedule(report.schedule)
+        assert text.count("loop i") == 2
+        assert "[forward]" in text
+
+    def test_fallback_banner_lists_reasons(self):
+        from repro.kernels import CYCLIC_FALLBACK
+
+        report = analyze(CYCLIC_FALLBACK)
+        text = render_schedule(report.schedule)
+        assert text.startswith("UNSCHEDULABLE")
+        assert "clause 1" in text
