@@ -1,0 +1,104 @@
+"""E17 — the compile service: cold vs. warm compile latency.
+
+Not a paper artifact but a scaling claim for the reproduction itself
+(see ROADMAP): the pipeline is deterministic (E17's precondition,
+``tests/test_determinism.py``), so a fingerprint-keyed cache can serve
+repeated compilations without re-running parsing, the §5/§6 dependence
+tests, or §8 scheduling.  Asserted shape: a warm hit on the wavefront
+kernel is at least 10x faster than a cold pipeline run, and a batch of
+duplicates compiles exactly once.
+"""
+
+import time
+
+import pytest
+
+from repro import CompileRequest, CompileService, compile_array
+from repro.kernels import SOR, SQUARES, WAVEFRONT
+
+PARAMS = {"n": 30}
+
+
+def best_of(fn, repeat=5):
+    """Best wall time over ``repeat`` runs (noise-resistant floor)."""
+    times = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+@pytest.mark.benchmark(group="E17-cold")
+def test_e17_cold_compile(benchmark):
+    compiled = benchmark(compile_array, WAVEFRONT, PARAMS)
+    assert compiled.report.strategy == "thunkless"
+
+
+@pytest.mark.benchmark(group="E17-warm")
+def test_e17_warm_hit(benchmark):
+    service = CompileService()
+    service.compile(WAVEFRONT, params=PARAMS)
+    compiled = benchmark(service.compile, WAVEFRONT, PARAMS)
+    assert compiled.report.strategy == "thunkless"
+    stats = service.stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] >= 1
+
+
+def test_e17_warm_speedup_at_least_10x():
+    service = CompileService()
+    cold = best_of(lambda: compile_array(WAVEFRONT, params=PARAMS))
+    service.compile(WAVEFRONT, params=PARAMS)
+    warm = best_of(lambda: service.compile(WAVEFRONT, params=PARAMS))
+    speedup = cold / warm
+    print(f"\nE17: cold {cold * 1e3:.3f}ms  warm {warm * 1e6:.1f}us  "
+          f"speedup {speedup:.0f}x")
+    assert speedup >= 10.0, (
+        f"warm hit only {speedup:.1f}x faster than cold compile"
+    )
+    # A hit returns the same artifact a cold compile would produce.
+    assert (service.compile(WAVEFRONT, params=PARAMS).source
+            == compile_array(WAVEFRONT, params=PARAMS).source)
+
+
+def test_e17_batch_throughput_dedup():
+    service = CompileService()
+    requests = [CompileRequest(WAVEFRONT, PARAMS),
+                CompileRequest(SQUARES, {"n": 50}),
+                CompileRequest(SOR, {"m": 10, "omega": 1})] * 4
+    started = time.perf_counter()
+    results = service.compile_batch(requests, max_workers=4)
+    batch_time = time.perf_counter() - started
+    assert all(result.ok for result in results)
+    stats = service.stats()
+    # 12 requests, 3 distinct compilations: dedup did the rest.
+    assert stats["misses"] == 3
+    assert stats["hits"] + stats["coalesced"] == 9
+    # Throughput sanity: the batch costs about 3 compiles, not 12.
+    serial_estimate = sum(
+        best_of(lambda src=s, p=prm: compile_array(src, params=p),
+                repeat=1)
+        for s, prm in [(WAVEFRONT, PARAMS), (SQUARES, {"n": 50}),
+                       (SOR, {"m": 10, "omega": 1})]
+    )
+    print(f"\nE17 batch: 12 requests in {batch_time * 1e3:.1f}ms "
+          f"(3 unique compiles ~{serial_estimate * 1e3:.1f}ms)")
+    assert batch_time < serial_estimate * 4
+
+
+def test_e17_disk_tier_faster_than_pipeline(tmp_path):
+    CompileService(disk_dir=tmp_path).compile(WAVEFRONT, params=PARAMS)
+    cold = best_of(lambda: compile_array(WAVEFRONT, params=PARAMS))
+
+    def disk_hit():
+        service = CompileService(disk_dir=tmp_path)  # empty memory tier
+        service.compile(WAVEFRONT, params=PARAMS)
+        assert service.stats()["disk_hits"] == 1
+
+    warm_disk = best_of(disk_hit)
+    print(f"\nE17 disk: cold {cold * 1e3:.3f}ms  "
+          f"disk hit {warm_disk * 1e3:.3f}ms")
+    # Disk hits re-exec source but skip analysis; they must beat a
+    # full pipeline run comfortably (shape, not absolute numbers).
+    assert warm_disk < cold

@@ -38,6 +38,11 @@ from repro.core.pipeline import (
 )
 from repro.interp import evaluate, run_program
 from repro.lang import parse_expr, parse_program, pretty
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    fingerprint,
+)
 from repro.runtime import (
     Bounds,
     NonStrictArray,
@@ -56,6 +61,8 @@ __all__ = [
     "Bounds",
     "CodegenOptions",
     "CompileError",
+    "CompileRequest",
+    "CompileService",
     "FlatArray",
     "NonStrictArray",
     "Report",
@@ -68,6 +75,7 @@ __all__ = [
     "compile_array_inplace",
     "compile_bigupd",
     "evaluate",
+    "fingerprint",
     "force_elements",
     "letrec_star",
     "parse_expr",

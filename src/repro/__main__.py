@@ -11,11 +11,17 @@ run
     Compile and execute, printing the resulting array.
 oracle
     Evaluate with the lazy reference interpreter instead.
+serve-stats
+    Inspect the on-disk compile cache (entry count, bytes, strategies).
 
-Size parameters are passed as ``-p name=value``; ``-`` reads the
-definition from stdin.  Examples::
+Size parameters are passed as ``-p name=value`` (ints or floats);
+``-`` reads the definition from stdin.  ``--cache [DIR]`` serves
+``compile``/``run`` through the persistent compile service (default
+directory ``~/.cache/repro``).  Examples::
 
     python -m repro analyze examples/wavefront.hs -p n=10
+    python -m repro run kernel.hs -p n=100 --cache
+    python -m repro serve-stats
     echo 'letrec* a = array (1,5) [ i := i*i | i <- [1..5] ] in a' \\
         | python -m repro run -
 """
@@ -27,12 +33,16 @@ import sys
 
 from repro import (
     CodegenOptions,
+    CompileError,
     analyze,
     compile_array,
     compile_array_inplace,
     evaluate,
 )
 from repro.report import render_edges, render_schedule
+
+#: Sentinel for ``--cache`` given without a directory.
+_DEFAULT_CACHE = "__default__"
 
 
 def _read_source(path: str) -> str:
@@ -45,11 +55,34 @@ def _read_source(path: str) -> str:
 def _parse_params(items):
     params = {}
     for item in items or ():
-        name, _, value = item.partition("=")
-        if not value:
+        name, eq, value = item.partition("=")
+        if not eq or not name or not value:
             raise SystemExit(f"bad parameter {item!r}; use name=value")
-        params[name] = int(value)
+        try:
+            params[name] = int(value)
+        except ValueError:
+            try:
+                number = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"bad parameter {item!r}: {value!r} is not a number "
+                    "(expected an int like n=100 or a float like "
+                    "omega=1.5)"
+                ) from None
+            # Integral floats (1e3, 10.0) are almost always meant as
+            # sizes; keep true fractions (omega=1.5) as floats.
+            params[name] = int(number) if number.is_integer() else number
     return params
+
+
+def _cache_dir(arg):
+    if arg is None:
+        return None
+    if arg == _DEFAULT_CACHE:
+        from repro.service import DEFAULT_CACHE_DIR
+
+        return DEFAULT_CACHE_DIR
+    return arg
 
 
 def _print_array(array):
@@ -63,6 +96,36 @@ def _print_array(array):
     print(array.to_list())
 
 
+def _serve_stats(cache_dir) -> int:
+    import pickle
+
+    from repro.service import DEFAULT_CACHE_DIR, DiskStore
+
+    store = DiskStore(cache_dir or DEFAULT_CACHE_DIR)
+    entries = list(store.entries())
+    total = sum(size for _, size in entries)
+    print(f"compile cache at {store.root}")
+    print(f"  entries: {len(entries)}")
+    print(f"  bytes:   {total}")
+    strategies = {}
+    unreadable = 0
+    for path, _ in entries:
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            strategy = payload["report"].strategy or "analysis"
+        except Exception:
+            unreadable += 1
+            continue
+        strategies[strategy] = strategies.get(strategy, 0) + 1
+    for strategy in sorted(strategies):
+        print(f"  strategy {strategy}: {strategies[strategy]}")
+    if unreadable:
+        print(f"  unreadable entries: {unreadable} "
+              "(treated as misses at lookup)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,11 +133,13 @@ def main(argv=None) -> int:
                     "PLDI 1990 reproduction)",
     )
     parser.add_argument("command",
-                        choices=["analyze", "compile", "run", "oracle"])
-    parser.add_argument("file", help="source file, or - for stdin")
+                        choices=["analyze", "compile", "run", "oracle",
+                                 "serve-stats"])
+    parser.add_argument("file", nargs="?",
+                        help="source file, or - for stdin")
     parser.add_argument("-p", "--param", action="append",
-                        metavar="NAME=INT",
-                        help="size parameter (repeatable)")
+                        metavar="NAME=NUM",
+                        help="size parameter, int or float (repeatable)")
     parser.add_argument("--strategy",
                         choices=["auto", "thunkless", "thunked"],
                         default="auto")
@@ -83,7 +148,17 @@ def main(argv=None) -> int:
                              "innermost loops")
     parser.add_argument("--inplace", metavar="OLD_ARRAY",
                         help="compile for in-place update of OLD_ARRAY")
+    parser.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE,
+                        metavar="DIR",
+                        help="serve compile/run through the persistent "
+                             "compile cache (default ~/.cache/repro)")
     args = parser.parse_args(argv)
+
+    if args.command == "serve-stats":
+        return _serve_stats(_cache_dir(args.cache))
+
+    if not args.file:
+        parser.error(f"command {args.command!r} needs a source file")
 
     source = _read_source(args.file)
     params = _parse_params(args.param)
@@ -102,16 +177,25 @@ def main(argv=None) -> int:
     options = None
     if args.vectorize:
         options = CodegenOptions(vectorize=True)
-    if args.inplace:
-        compiled = compile_array_inplace(source, args.inplace,
-                                         params=params)
-    else:
-        compiled = compile_array(
-            source,
-            params=params,
-            options=options,
-            force_strategy=None if args.strategy == "auto" else args.strategy,
-        )
+    try:
+        if args.inplace:
+            if args.cache:
+                print("note: --cache covers monolithic compiles only; "
+                      "compiling in-place uncached", file=sys.stderr)
+            compiled = compile_array_inplace(source, args.inplace,
+                                             params=params,
+                                             options=options)
+        else:
+            compiled = compile_array(
+                source,
+                params=params,
+                options=options,
+                force_strategy=(None if args.strategy == "auto"
+                                else args.strategy),
+                cache=_cache_dir(args.cache),
+            )
+    except CompileError as exc:
+        raise SystemExit(f"compile error: {exc}") from exc
 
     if args.command == "compile":
         print(f"# {compiled.report.summary()}".replace("\n", "\n# "))

@@ -30,6 +30,15 @@ class CompiledComp:
     def __call__(self, env: Optional[Dict] = None):
         return self._fn(dict(env or {}))
 
+    # A compiled comprehension is fully determined by its source text
+    # and report; the exec'd function is rebuilt on unpickle.  This is
+    # what lets the compile service round-trip entries through disk.
+    def __getstate__(self):
+        return {"source": self.source, "report": self.report}
+
+    def __setstate__(self, state):
+        self.__init__(state["source"], state["report"])
+
     def __repr__(self):
         strategy = getattr(self.report, "strategy", "?")
         return f"CompiledComp(strategy={strategy!r})"

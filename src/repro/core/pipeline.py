@@ -71,6 +71,10 @@ class Report:
     vectorizable: List[str] = field(default_factory=list)
     parallelism: List = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Wall-clock seconds per pipeline pass (parse, build, dependence,
+    #: schedule, codegen, ...) — consumed by the compile service's
+    #: metrics; not part of the semantic compilation result.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """A short human-readable account of the compilation."""
@@ -140,15 +144,29 @@ def analyze(
     verify_exact: bool = True,
 ) -> Report:
     """Run analysis and scheduling without generating code."""
+    from time import perf_counter
+
+    timings: Dict[str, float] = {}
+    tick = perf_counter()
     expr = _parse(src)
+    timings["parse"] = perf_counter() - tick
+    tick = perf_counter()
     name, bounds_ast, pairs_ast = find_array_comp(expr)
     comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    timings["build"] = perf_counter() - tick
+    tick = perf_counter()
     collision = analyze_collisions(comp)
     empties = analyze_empties(comp, collision)
+    timings["collisions"] = perf_counter() - tick
+    tick = perf_counter()
     edges = flow_edges(comp, verify_exact=verify_exact)
+    timings["dependence"] = perf_counter() - tick
+    tick = perf_counter()
     schedule = schedule_comp(comp, edges)
+    timings["schedule"] = perf_counter() - tick
     from repro.core.parallel import analyze_parallelism
 
+    tick = perf_counter()
     report = Report(
         comp=comp,
         collision=collision,
@@ -157,7 +175,9 @@ def analyze(
         schedule=schedule,
         vectorizable=_vectorizable_loops(comp, edges),
         parallelism=analyze_parallelism(comp, edges),
+        timings=timings,
     )
+    timings["parallelism"] = perf_counter() - tick
     return report
 
 
@@ -166,13 +186,30 @@ def compile_array(
     params: Optional[Dict[str, int]] = None,
     options: Optional[CodegenOptions] = None,
     force_strategy: Optional[str] = None,
+    cache=None,
 ) -> CompiledComp:
     """Compile a ``letrec*`` array definition end to end.
 
     ``force_strategy`` overrides the pipeline's choice (``"thunked"``
     or ``"thunkless"``) for benchmarking; forcing ``"thunkless"`` on an
     unsafely scheduled array raises :class:`CompileError`.
+
+    ``cache`` (default off) routes the request through the compile
+    service so repeated compilations are served from a fingerprint-
+    keyed cache instead of re-running analysis: pass ``True`` for the
+    shared in-memory service, a directory path for a persistent cache,
+    or a :class:`~repro.service.service.CompileService`.
     """
+    if cache is not None and cache is not False:
+        from repro.service.service import resolve_cache
+
+        return resolve_cache(cache).compile(
+            src, params=params, options=options,
+            force_strategy=force_strategy,
+        )
+    from time import perf_counter
+
+    started = perf_counter()
     report = analyze(src, params)
     if options is not None and options.vectorize:
         # §8.2/§10 extension: interchange perfect nests whose inner
@@ -237,6 +274,7 @@ def compile_array(
 
     from repro.codegen.exprs import CodegenError
 
+    tick = perf_counter()
     try:
         if strategy == "thunkless":
             source = emit_thunkless(
@@ -254,6 +292,8 @@ def compile_array(
             raise CompileError(f"unknown strategy {strategy!r}")
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
+    report.timings["codegen"] = perf_counter() - tick
+    report.timings["total"] = perf_counter() - started
     return CompiledComp(source, report)
 
 
@@ -443,5 +483,10 @@ def _compile_inplace_parts(
                 f"{len(plan.hoisted)} hoisted temp(s)"
             )
     report.checks = options or CodegenOptions()
-    source = emit_inplace(comp, schedule, plan, report.checks, params)
+    from repro.codegen.exprs import CodegenError
+
+    try:
+        source = emit_inplace(comp, schedule, plan, report.checks, params)
+    except CodegenError as exc:
+        raise CompileError(f"cannot generate code: {exc}") from exc
     return CompiledComp(source, report)

@@ -1,0 +1,73 @@
+"""Compile service: fingerprinting, caching, and batch compilation.
+
+The Anderson & Hudak pipeline is a pure function of (source, params,
+options, strategy) — the determinism tests in
+``tests/test_determinism.py`` pin this down — so its output can be
+memoized.  This package turns the per-call compiler into a service:
+
+* :mod:`repro.service.fingerprint` — a canonical structural hash of the
+  §6-normalized loop IR, invariant under whitespace and bound-variable
+  renaming, salted with the pipeline version;
+* :mod:`repro.service.store` — a two-tier cache: in-memory LRU of live
+  :class:`~repro.codegen.compile.CompiledComp` objects over an optional
+  on-disk store of generated source + pickled reports;
+* :mod:`repro.service.service` — :class:`CompileService` with
+  ``compile()``, ``compile_batch()`` (thread-pool fan-out, per-entry
+  isolation, in-flight deduplication) and ``warmup()``;
+* :mod:`repro.service.metrics` — hit/miss/eviction counters, a compile
+  wall-time histogram, and per-pass timings threaded out of the
+  pipeline's :class:`~repro.core.pipeline.Report`.
+
+Quick start::
+
+    from repro.service import CompileService
+
+    svc = CompileService(capacity=128, disk_dir="~/.cache/repro")
+    compiled = svc.compile(src, params={"n": 100})   # miss: full pipeline
+    compiled = svc.compile(src, params={"n": 100})   # hit: no analysis
+    print(svc.summary())
+
+Or through the pipeline front door::
+
+    from repro import compile_array
+    compiled = compile_array(src, params={"n": 100}, cache=True)
+"""
+
+from repro.service.fingerprint import (
+    PIPELINE_SALT,
+    canonical_comp,
+    canonical_expr,
+    fingerprint,
+)
+from repro.service.metrics import Histogram, ServiceMetrics
+from repro.service.service import (
+    BatchResult,
+    CompileRequest,
+    CompileService,
+    default_service,
+    resolve_cache,
+)
+from repro.service.store import (
+    DEFAULT_CACHE_DIR,
+    DiskStore,
+    MemoryLRU,
+    TieredStore,
+)
+
+__all__ = [
+    "BatchResult",
+    "CompileRequest",
+    "CompileService",
+    "DEFAULT_CACHE_DIR",
+    "DiskStore",
+    "Histogram",
+    "MemoryLRU",
+    "PIPELINE_SALT",
+    "ServiceMetrics",
+    "TieredStore",
+    "canonical_comp",
+    "canonical_expr",
+    "default_service",
+    "fingerprint",
+    "resolve_cache",
+]

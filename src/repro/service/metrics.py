@@ -1,0 +1,191 @@
+"""Counters and timers for the compile service.
+
+Everything is process-local and thread-safe.  ``stats()`` returns a
+plain dict (JSON-able, for machine consumers); ``render()`` a
+human-readable block for the CLI's ``serve-stats`` and interactive
+inspection.  Per-pass timings come from
+:attr:`repro.core.pipeline.Report.timings`, which the pipeline fills
+in on every run, so the service can say not just *how long* compiles
+take but *where* the time goes (the E11 question: how much of it is
+the dependence tests).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from threading import Lock
+from typing import Dict, Mapping, Optional
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (seconds)."""
+
+    #: Upper bucket edges, chosen around compile latencies: 100 µs for
+    #: memory hits up through seconds for pathological nests.
+    BUCKETS = (
+        0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+        0.025, 0.05, 0.1, 0.25, 0.5, 1.0, float("inf"),
+    )
+
+    def __init__(self):
+        self.counts = [0] * len(self.BUCKETS)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        for k, edge in enumerate(self.BUCKETS):
+            if seconds <= edge:
+                self.counts[k] += 1
+                break
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def stats(self) -> Dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min,
+            "max_s": self.max,
+            "buckets": {
+                ("inf" if edge == float("inf") else f"<={edge:g}s"): n
+                for edge, n in zip(self.BUCKETS, self.counts)
+                if n
+            },
+        }
+
+    def render(self, indent: str = "  ") -> str:
+        if not self.count:
+            return indent + "(no observations)"
+        lines = [
+            indent + f"n={self.count}  mean={self.mean * 1e3:.3f}ms  "
+            f"min={self.min * 1e3:.3f}ms  max={self.max * 1e3:.3f}ms"
+        ]
+        peak = max(self.counts)
+        for edge, n in zip(self.BUCKETS, self.counts):
+            if not n:
+                continue
+            label = "+inf" if edge == float("inf") else f"{edge:g}s"
+            bar = "#" * max(1, round(20 * n / peak))
+            lines.append(indent + f"{label:>9} {bar} {n}")
+        return "\n".join(lines)
+
+
+class ServiceMetrics:
+    """Aggregated service counters: hits, misses, timings, errors."""
+
+    def __init__(self):
+        self._lock = Lock()
+        self.hits = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.coalesced = 0  # waited on an identical in-flight compile
+        self.batches = 0
+        self.batch_requests = 0
+        self.compile_time = Histogram()
+        self.hit_time = Histogram()
+        self.pass_seconds: Dict[str, float] = defaultdict(float)
+        self.pass_counts: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+
+    def record_hit(self, tier: str, seconds: float) -> None:
+        with self._lock:
+            self.hits += 1
+            if tier == "disk":
+                self.disk_hits += 1
+            else:
+                self.memory_hits += 1
+            self.hit_time.observe(seconds)
+
+    def record_miss(self, seconds: float,
+                    timings: Optional[Mapping[str, float]] = None) -> None:
+        with self._lock:
+            self.misses += 1
+            self.compile_time.observe(seconds)
+            for name, spent in (timings or {}).items():
+                self.pass_seconds[name] += spent
+                self.pass_counts[name] += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_requests += size
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict:
+        with self._lock:
+            requests = self.hits + self.misses + self.coalesced
+            return {
+                "requests": requests,
+                "hits": self.hits,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "errors": self.errors,
+                "batches": self.batches,
+                "batch_requests": self.batch_requests,
+                "hit_rate": (self.hits / requests) if requests else 0.0,
+                "compile_time": self.compile_time.stats(),
+                "hit_time": self.hit_time.stats(),
+                "passes": {
+                    name: {
+                        "total_s": self.pass_seconds[name],
+                        "count": self.pass_counts[name],
+                    }
+                    for name in sorted(self.pass_seconds)
+                },
+            }
+
+    def render(self) -> str:
+        stats = self.stats()
+        lines = [
+            "compile service metrics",
+            f"  requests: {stats['requests']}  "
+            f"hits: {stats['hits']} "
+            f"(memory {stats['memory_hits']}, disk {stats['disk_hits']})  "
+            f"misses: {stats['misses']}  "
+            f"coalesced: {stats['coalesced']}  "
+            f"errors: {stats['errors']}",
+            f"  hit rate: {stats['hit_rate']:.1%}",
+        ]
+        if stats["batches"]:
+            lines.append(
+                f"  batches: {stats['batches']} "
+                f"({stats['batch_requests']} requests)"
+            )
+        lines.append("  compile wall time (misses):")
+        lines.append(self.compile_time.render("    "))
+        if self.hit_time.count:
+            lines.append("  cache hit time:")
+            lines.append(self.hit_time.render("    "))
+        if stats["passes"]:
+            lines.append("  pipeline passes (cumulative over misses):")
+            width = max(len(name) for name in stats["passes"])
+            for name, entry in stats["passes"].items():
+                lines.append(
+                    f"    {name:<{width}}  "
+                    f"{entry['total_s'] * 1e3:9.3f}ms over "
+                    f"{entry['count']} run(s)"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,328 @@
+"""The compile service front end.
+
+:class:`CompileService` memoizes :func:`repro.compile_array` behind
+canonical fingerprints (see :mod:`repro.service.fingerprint`) and a
+two-tier store (see :mod:`repro.service.store`):
+
+* ``compile()`` — one request; a hit skips the entire pipeline
+  (including the dependence tests, the expensive part per E11);
+* ``compile_batch()`` — thread-pool fan-out over many requests with
+  per-entry isolation (one bad source yields one errored
+  :class:`BatchResult`, never a dead batch) and in-flight
+  deduplication (identical concurrent requests compile once; the rest
+  wait on the first's future);
+* ``warmup()`` — pre-populate the cache, e.g. at process start from a
+  kernel catalog.
+
+The service returns the *same* :class:`CompiledComp` object for
+repeated hits; compiled objects are treated as immutable.  Mutating a
+cached object's report would poison later hits — don't.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.codegen.compile import CompiledComp
+from repro.service.fingerprint import PIPELINE_SALT, _options_key
+from repro.service.fingerprint import fingerprint as _fingerprint
+
+#: Exact-text fingerprint memo entries kept per service (see
+#: :meth:`CompileService.fingerprint`).
+_FP_MEMO_CAP = 4096
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import DiskStore, MemoryLRU, TieredStore
+
+
+@dataclass
+class CompileRequest:
+    """One unit of batch work (mirrors ``compile_array``'s signature)."""
+
+    src: object
+    params: Optional[Dict] = None
+    options: object = None
+    force_strategy: Optional[str] = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one request in a batch, in request order."""
+
+    index: int
+    fingerprint: Optional[str] = None
+    compiled: Optional[CompiledComp] = None
+    error: Optional[BaseException] = field(default=None, repr=False)
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class CompileService:
+    """Fingerprint-keyed compilation cache with a concurrent batch API.
+
+    Parameters
+    ----------
+    capacity:
+        Memory-tier LRU capacity (live ``CompiledComp`` objects).
+    disk_dir / disk:
+        Enable the persistent tier: either a directory, or ``True``
+        for the default ``~/.cache/repro`` (override with the
+        ``REPRO_CACHE_DIR`` environment variable).  Off by default —
+        tests and libraries should not write to the user's home
+        silently.
+    salt:
+        Pipeline version salt; requests fingerprinted under a
+        different salt never see each other's entries.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        disk_dir=None,
+        disk: bool = False,
+        salt: str = PIPELINE_SALT,
+        max_workers: Optional[int] = None,
+    ):
+        disk_store = None
+        if disk_dir is not None or disk:
+            disk_store = DiskStore(disk_dir, salt=salt)
+        self.store = TieredStore(MemoryLRU(capacity), disk_store)
+        self.salt = salt
+        self.metrics = ServiceMetrics()
+        self.max_workers = max_workers
+        self._lock = Lock()
+        self._inflight: Dict[str, Future] = {}
+        # Exact-text memo over the canonical fingerprint: identical
+        # request *texts* skip re-parsing; renamed or re-formatted
+        # variants still funnel through canonicalization below.
+        self._fp_memo: Dict[tuple, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def fingerprint(self, src, params=None, options=None,
+                    force_strategy=None) -> str:
+        """The cache key this service would use for a request.
+
+        Canonical fingerprinting re-parses the source; for the hot
+        path (the same text compiled over and over) an exact-text memo
+        answers in a dict lookup instead.
+        """
+        memo_key = None
+        if isinstance(src, str):
+            memo_key = (
+                src, repr(sorted((params or {}).items())),
+                _options_key(options), force_strategy,
+            )
+            cached = self._fp_memo.get(memo_key)
+            if cached is not None:
+                return cached
+        key = _fingerprint(
+            src, params=params, options=options,
+            force_strategy=force_strategy, salt=self.salt,
+        )
+        if memo_key is not None:
+            with self._lock:
+                if len(self._fp_memo) >= _FP_MEMO_CAP:
+                    self._fp_memo.clear()
+                self._fp_memo[memo_key] = key
+        return key
+
+    def compile(self, src, params=None, options=None,
+                force_strategy=None) -> CompiledComp:
+        """Compile through the cache; semantics of ``compile_array``."""
+        key = self.fingerprint(src, params, options, force_strategy)
+        started = perf_counter()
+        compiled, tier = self.store.get(key)
+        if compiled is not None:
+            self.metrics.record_hit(tier, perf_counter() - started)
+            return compiled
+
+        with self._lock:
+            future = self._inflight.get(key)
+            leader = future is None
+            if leader:
+                future = Future()
+                self._inflight[key] = future
+        if not leader:
+            self.metrics.record_coalesced()
+            return future.result()
+
+        try:
+            from repro.core.pipeline import compile_array
+
+            started = perf_counter()
+            compiled = compile_array(
+                src, params=params, options=options,
+                force_strategy=force_strategy,
+            )
+            elapsed = perf_counter() - started
+            self.store.put(key, compiled)
+            self.metrics.record_miss(
+                elapsed, getattr(compiled.report, "timings", None)
+            )
+            future.set_result(compiled)
+            return compiled
+        except BaseException as exc:
+            self.metrics.record_error()
+            future.set_exception(exc)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------
+
+    def compile_batch(
+        self,
+        requests: Sequence,
+        max_workers: Optional[int] = None,
+    ) -> List[BatchResult]:
+        """Compile many requests concurrently, one result per request.
+
+        Each request is a :class:`CompileRequest`, a plain source
+        value, or a ``(src, params)`` tuple.  Results come back in
+        request order; a failing entry carries its exception in
+        ``error`` and never affects its neighbours.  Identical
+        requests (same fingerprint) are compiled exactly once.
+        """
+        normalized = [self._normalize(req) for req in requests]
+        self.metrics.record_batch(len(normalized))
+        if not normalized:
+            return []
+        workers = max_workers or self.max_workers or min(
+            8, len(normalized), (os.cpu_count() or 2)
+        )
+
+        def run_one(index: int, req: CompileRequest) -> BatchResult:
+            result = BatchResult(index=index)
+            try:
+                result.fingerprint = self.fingerprint(
+                    req.src, req.params, req.options, req.force_strategy
+                )
+                result.cached = (
+                    self.store.get(result.fingerprint)[0] is not None
+                )
+                result.compiled = self.compile(
+                    req.src, params=req.params, options=req.options,
+                    force_strategy=req.force_strategy,
+                )
+            except BaseException as exc:  # per-entry isolation
+                result.error = exc
+            return result
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(run_one, index, req)
+                for index, req in enumerate(normalized)
+            ]
+            return [future.result() for future in futures]
+
+    def warmup(self, requests: Sequence,
+               max_workers: Optional[int] = None) -> Dict[str, int]:
+        """Pre-populate the cache; returns counts of what happened."""
+        results = self.compile_batch(requests, max_workers=max_workers)
+        summary = {"total": len(results), "compiled": 0,
+                   "cached": 0, "errors": 0}
+        for result in results:
+            if not result.ok:
+                summary["errors"] += 1
+            elif result.cached:
+                summary["cached"] += 1
+            else:
+                summary["compiled"] += 1
+        return summary
+
+    @staticmethod
+    def _normalize(req) -> CompileRequest:
+        if isinstance(req, CompileRequest):
+            return req
+        if isinstance(req, tuple):
+            return CompileRequest(*req)
+        if isinstance(req, dict):
+            return CompileRequest(**req)
+        return CompileRequest(req)
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self, src, params=None, options=None,
+                   force_strategy=None) -> bool:
+        """Drop one request's entry from both tiers."""
+        key = self.fingerprint(src, params, options, force_strategy)
+        return self.store.invalidate(key)
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers."""
+        self.store.clear()
+
+    def stats(self) -> Dict:
+        """Service metrics plus store occupancy, as a plain dict."""
+        stats = self.metrics.stats()
+        stats["memory_entries"] = len(self.store.memory)
+        stats["memory_capacity"] = self.store.memory.capacity
+        stats["evictions"] = self.store.memory.evictions
+        if self.store.disk is not None:
+            entries = list(self.store.disk.entries())
+            stats["disk_entries"] = len(entries)
+            stats["disk_bytes"] = sum(size for _, size in entries)
+            stats["disk_dir"] = str(self.store.disk.root)
+            stats["disk_read_errors"] = self.store.disk.read_errors
+            stats["disk_write_errors"] = self.store.disk.write_errors
+        return stats
+
+    def summary(self) -> str:
+        """Human-readable account of the service's life so far."""
+        stats = self.stats()
+        lines = [self.metrics.render()]
+        lines.append(
+            f"  memory tier: {stats['memory_entries']}/"
+            f"{stats['memory_capacity']} entries, "
+            f"{stats['evictions']} eviction(s)"
+        )
+        if "disk_entries" in stats:
+            lines.append(
+                f"  disk tier: {stats['disk_entries']} entries, "
+                f"{stats['disk_bytes']} bytes at {stats['disk_dir']}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The default service used by ``compile_array(..., cache=True)``.
+
+_default_service: Optional[CompileService] = None
+_default_lock = Lock()
+
+
+def default_service() -> CompileService:
+    """The process-wide memory-only service (created on first use)."""
+    global _default_service
+    with _default_lock:
+        if _default_service is None:
+            _default_service = CompileService()
+        return _default_service
+
+
+def resolve_cache(cache) -> CompileService:
+    """Map ``compile_array``'s ``cache=`` argument to a service.
+
+    Accepts ``True`` (the shared default service), a
+    :class:`CompileService`, or a directory path (``str`` /
+    ``os.PathLike``) naming a disk tier.
+    """
+    if cache is True:
+        return default_service()
+    if isinstance(cache, CompileService):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return CompileService(disk_dir=cache)
+    raise TypeError(
+        "cache= must be True, a CompileService, or a directory path; "
+        f"got {cache!r}"
+    )

@@ -1,0 +1,252 @@
+"""CompileService: accounting, batching, dedup, pipeline wiring."""
+
+import threading
+import time
+
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro import (
+    CompileError,
+    CompileRequest,
+    CompileService,
+    compile_array,
+    kernels,
+)
+from repro.service import resolve_cache
+from repro.service.service import BatchResult, default_service
+
+
+@pytest.fixture
+def counting_pipeline(monkeypatch):
+    """Count (and optionally slow down) real pipeline invocations."""
+    calls = {"count": 0, "delay": 0.0}
+    real = pipeline_mod.compile_array
+
+    def wrapper(*args, **kwargs):
+        calls["count"] += 1
+        if calls["delay"]:
+            time.sleep(calls["delay"])
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(pipeline_mod, "compile_array", wrapper)
+    return calls
+
+
+class TestAccounting:
+    def test_miss_then_hit(self, counting_pipeline):
+        service = CompileService()
+        first = service.compile(kernels.WAVEFRONT, params={"n": 6})
+        second = service.compile(kernels.WAVEFRONT, params={"n": 6})
+        assert first is second
+        assert counting_pipeline["count"] == 1
+        stats = service.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["memory_hits"] == 1
+        assert stats["requests"] == 2
+        assert 0 < stats["hit_rate"] < 1
+
+    def test_hit_skips_dependence_analysis(self, monkeypatch):
+        """The acceptance check: a cache hit runs no analysis pass."""
+        service = CompileService()
+        compiled = service.compile(kernels.WAVEFRONT, params={"n": 6})
+
+        def boom(*args, **kwargs):
+            raise AssertionError("dependence analysis re-ran on a hit")
+
+        monkeypatch.setattr(pipeline_mod, "flow_edges", boom)
+        again = service.compile(kernels.WAVEFRONT, params={"n": 6})
+        assert again is compiled
+        assert service.stats()["hits"] == 1
+
+    def test_cached_result_equals_uncached(self):
+        service = CompileService()
+        service.compile(kernels.WAVEFRONT, params={"n": 6})
+        cached = service.compile(kernels.WAVEFRONT, params={"n": 6})
+        uncached = compile_array(kernels.WAVEFRONT, params={"n": 6})
+        assert cached.source == uncached.source
+        assert (cached({"n": 6}).to_list()
+                == uncached({"n": 6}).to_list())
+
+    def test_renamed_source_hits_same_entry(self, counting_pipeline):
+        service = CompileService()
+        service.compile(
+            "letrec* a = array (1,n) [ i := i*i | i <- [1..n] ] in a",
+            params={"n": 4},
+        )
+        service.compile(
+            "letrec* sq = array (1,n) [ k := k*k | k <- [1..n] ] in sq",
+            params={"n": 4},
+        )
+        assert counting_pipeline["count"] == 1
+
+    def test_lru_eviction_shows_in_stats(self, counting_pipeline):
+        service = CompileService(capacity=1)
+        service.compile(kernels.SQUARES, params={"n": 4})
+        service.compile(kernels.SQUARES, params={"n": 5})
+        service.compile(kernels.SQUARES, params={"n": 4})  # evicted
+        assert counting_pipeline["count"] == 3
+        assert service.stats()["evictions"] == 2
+
+    def test_errors_are_counted_and_propagate(self):
+        service = CompileService()
+        with pytest.raises(CompileError):
+            service.compile(kernels.SQUARES, params={"n": 4},
+                            force_strategy="bogus")
+        assert service.stats()["errors"] == 1
+
+    def test_invalidate_forces_recompile(self, counting_pipeline):
+        service = CompileService()
+        service.compile(kernels.SQUARES, params={"n": 4})
+        assert service.invalidate(kernels.SQUARES,
+                                  params={"n": 4}) is True
+        service.compile(kernels.SQUARES, params={"n": 4})
+        assert counting_pipeline["count"] == 2
+
+    def test_salt_separates_services(self, tmp_path, counting_pipeline):
+        first = CompileService(disk_dir=tmp_path, salt="v1")
+        first.compile(kernels.SQUARES, params={"n": 4})
+        bumped = CompileService(disk_dir=tmp_path, salt="v2")
+        bumped.compile(kernels.SQUARES, params={"n": 4})
+        assert counting_pipeline["count"] == 2
+        assert bumped.stats()["disk_hits"] == 0
+
+    def test_disk_tier_survives_service_restart(self, tmp_path,
+                                                counting_pipeline):
+        CompileService(disk_dir=tmp_path).compile(
+            kernels.WAVEFRONT, params={"n": 6}
+        )
+        reborn = CompileService(disk_dir=tmp_path)
+        compiled = reborn.compile(kernels.WAVEFRONT, params={"n": 6})
+        assert counting_pipeline["count"] == 1
+        assert reborn.stats()["disk_hits"] == 1
+        assert compiled({"n": 6}).to_list()
+        assert "disk tier" in reborn.summary()
+
+
+class TestBatch:
+    def test_results_in_request_order(self):
+        service = CompileService()
+        results = service.compile_batch([
+            CompileRequest(kernels.SQUARES, {"n": 3}),
+            (kernels.WAVEFRONT, {"n": 4}),
+            {"src": kernels.SQUARES, "params": {"n": 5}},
+        ])
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+        assert results[1].compiled({"n": 4}).at((4, 4)) == 63
+
+    def test_bad_entry_does_not_kill_batch(self):
+        service = CompileService()
+        results = service.compile_batch([
+            CompileRequest(kernels.SQUARES, {"n": 3}),
+            CompileRequest("letrec* broken = array", {"n": 3}),
+            CompileRequest(kernels.SQUARES, {"n": 4}),
+        ])
+        assert [r.ok for r in results] == [True, False, True]
+        assert isinstance(results[1], BatchResult)
+        assert results[1].error is not None
+        assert results[1].compiled is None
+
+    def test_duplicate_requests_compile_once(self, counting_pipeline):
+        counting_pipeline["delay"] = 0.05  # force overlap
+        service = CompileService()
+        results = service.compile_batch(
+            [CompileRequest(kernels.WAVEFRONT, {"n": 6})] * 8,
+            max_workers=8,
+        )
+        assert all(r.ok for r in results)
+        assert len({id(r.compiled) for r in results}) == 1
+        assert counting_pipeline["count"] == 1
+        stats = service.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] + stats["coalesced"] == 7
+        assert stats["batch_requests"] == 8
+
+    def test_concurrent_compile_calls_dedup(self, counting_pipeline):
+        counting_pipeline["delay"] = 0.05
+        service = CompileService()
+        outputs = []
+
+        def worker():
+            outputs.append(
+                service.compile(kernels.WAVEFRONT, params={"n": 6})
+            )
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counting_pipeline["count"] == 1
+        assert len({id(c) for c in outputs}) == 1
+
+    def test_empty_batch(self):
+        assert CompileService().compile_batch([]) == []
+
+    def test_warmup_summary(self, counting_pipeline):
+        service = CompileService()
+        service.compile(kernels.SQUARES, params={"n": 3})
+        summary = service.warmup([
+            CompileRequest(kernels.SQUARES, {"n": 3}),   # cached
+            CompileRequest(kernels.WAVEFRONT, {"n": 4}),  # fresh
+            CompileRequest("letrec* nope = array", None),  # error
+        ])
+        assert summary == {"total": 3, "compiled": 1, "cached": 1,
+                           "errors": 1}
+
+
+class TestPipelineWiring:
+    def test_cache_argument_uses_service(self, counting_pipeline):
+        service = CompileService()
+        compile_array(kernels.SQUARES, params={"n": 4}, cache=service)
+        compile_array(kernels.SQUARES, params={"n": 4}, cache=service)
+        assert counting_pipeline["count"] == 1
+        assert service.stats()["hits"] == 1
+
+    def test_cache_path_builds_disk_service(self, tmp_path):
+        compiled = compile_array(kernels.SQUARES, params={"n": 4},
+                                 cache=str(tmp_path))
+        assert compiled({"n": 4}).to_list() == [1, 4, 9, 16]
+        assert any(tmp_path.glob("*/*.pkl"))
+
+    def test_cache_true_uses_shared_default(self):
+        assert resolve_cache(True) is default_service()
+
+    def test_cache_off_is_pure_pipeline(self, counting_pipeline):
+        # Through the patched module so invocations are observable.
+        pipeline_mod.compile_array(kernels.SQUARES, params={"n": 4})
+        pipeline_mod.compile_array(kernels.SQUARES, params={"n": 4})
+        assert counting_pipeline["count"] == 2
+
+    def test_bogus_cache_rejected(self):
+        with pytest.raises(TypeError):
+            compile_array(kernels.SQUARES, params={"n": 4}, cache=42)
+
+
+class TestMetricsRendering:
+    def test_stats_are_plain_data(self):
+        import json
+
+        service = CompileService()
+        service.compile(kernels.SQUARES, params={"n": 4})
+        service.compile(kernels.SQUARES, params={"n": 4})
+        json.dumps(service.stats())  # must not raise
+
+    def test_summary_mentions_key_numbers(self):
+        service = CompileService()
+        service.compile(kernels.SQUARES, params={"n": 4})
+        service.compile(kernels.SQUARES, params={"n": 4})
+        text = service.summary()
+        assert "hits: 1" in text
+        assert "misses: 1" in text
+        assert "memory tier" in text
+        assert "compile wall time" in text
+
+    def test_pass_timings_aggregated(self):
+        service = CompileService()
+        service.compile(kernels.WAVEFRONT, params={"n": 6})
+        passes = service.stats()["passes"]
+        assert "dependence" in passes
+        assert passes["dependence"]["count"] == 1

@@ -79,3 +79,106 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "_snap_" in out  # node-splitting rings present
+
+
+class TestParams:
+    """``-p`` accepts ints and floats, and explains anything else."""
+
+    def test_float_param(self, tmp_path, capsys):
+        from repro.kernels import SOR
+
+        path = tmp_path / "sor.hs"
+        path.write_text(SOR)
+        assert main(
+            ["compile", str(path), "-p", "m=6", "-p", "omega=1.5",
+             "--inplace", "u"]
+        ) == 0
+        assert "def _build(_env):" in capsys.readouterr().out
+
+    def test_scientific_notation_becomes_int(self, squares_file,
+                                             capsys):
+        # Regression: ``-p n=1e3`` used to crash with an opaque
+        # ValueError from int().
+        assert main(["run", squares_file, "-p", "n=1e1"]) == 0
+        assert "100" in capsys.readouterr().out
+
+    def test_non_number_has_clear_message(self, squares_file):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", squares_file, "-p", "n=abc"])
+        message = str(exc_info.value)
+        assert "n=abc" in message
+        assert "not a number" in message
+
+    def test_missing_value_still_rejected(self, squares_file):
+        with pytest.raises(SystemExit):
+            main(["run", squares_file, "-p", "n="])
+
+
+class TestInplaceOptions:
+    """``--inplace`` must propagate codegen options (regression)."""
+
+    def test_vectorize_reaches_inplace_pipeline(self, tmp_path):
+        # SOR's anti reads would vectorize into dangling numpy views;
+        # the compile must fail loudly, not emit broken code (the old
+        # driver silently dropped --vectorize here).
+        from repro.kernels import SOR
+
+        path = tmp_path / "sor.hs"
+        path.write_text(SOR)
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compile", str(path), "-p", "m=6", "-p", "omega=1",
+                  "--inplace", "u", "--vectorize"])
+        assert "vectorize" in str(exc_info.value)
+
+    def test_vectorize_noop_inplace_still_compiles(self, tmp_path,
+                                                   capsys):
+        # Jacobi: no loop qualifies, so the flag is an honoured no-op.
+        from repro.kernels import JACOBI
+
+        path = tmp_path / "jacobi.hs"
+        path.write_text(JACOBI)
+        assert main(
+            ["compile", str(path), "-p", "m=8", "--inplace", "u",
+             "--vectorize"]
+        ) == 0
+        assert "_snap_" in capsys.readouterr().out
+
+
+class TestCacheFlag:
+    def test_run_with_cache_twice(self, wavefront_file, tmp_path,
+                                  capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", wavefront_file, "-p", "n=3",
+                     "--cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert main(["run", wavefront_file, "-p", "n=3",
+                     "--cache", cache]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_compile_with_cache_matches_uncached(self, squares_file,
+                                                 tmp_path, capsys):
+        assert main(["compile", squares_file, "-p", "n=4"]) == 0
+        uncached = capsys.readouterr().out
+        cache = str(tmp_path / "cache")
+        for _ in range(2):  # second round is a disk hit
+            assert main(["compile", squares_file, "-p", "n=4",
+                         "--cache", cache]) == 0
+            assert capsys.readouterr().out == uncached
+
+    def test_serve_stats(self, squares_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(["compile", squares_file, "-p", "n=4", "--cache", cache])
+        capsys.readouterr()
+        assert main(["serve-stats", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "strategy thunkless: 1" in out
+
+    def test_serve_stats_empty_dir(self, tmp_path, capsys):
+        assert main(["serve-stats", "--cache",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_file_required_for_compile(self):
+        with pytest.raises(SystemExit):
+            main(["compile"])

@@ -1,0 +1,102 @@
+"""Compilation is deterministic: same input, byte-identical output.
+
+This is the correctness precondition for the compile service's
+fingerprint cache (``repro.service``): a cached artifact may be
+substituted for a fresh pipeline run only because two runs over the
+same (source, params, options) always produce the same generated
+source and the same report.  Covers the scheduled wavefront, both
+in-place relaxation kernels (node-splitting and zero-copy paths), and
+the E5 thunked fallback.
+"""
+
+from repro import (
+    CodegenOptions,
+    compile_array,
+    compile_array_inplace,
+    kernels,
+)
+
+
+def assert_deterministic(compile_once):
+    first = compile_once()
+    second = compile_once()
+    assert first.source == second.source, "generated source drifted"
+    assert first.report.summary() == second.report.summary()
+    assert first.report.strategy == second.report.strategy
+
+
+class TestMonolithicDeterminism:
+    def test_wavefront(self):
+        assert_deterministic(
+            lambda: compile_array(kernels.WAVEFRONT, params={"n": 8})
+        )
+
+    def test_wavefront_vectorized(self):
+        assert_deterministic(
+            lambda: compile_array(
+                kernels.WAVEFRONT, params={"n": 8},
+                options=CodegenOptions(vectorize=True),
+            )
+        )
+
+    def test_thunked_fallback_e5(self):
+        # The E5 kernel: cyclic dependences force the thunked strategy.
+        def compile_once():
+            compiled = compile_array(kernels.CYCLIC_FALLBACK)
+            assert compiled.report.strategy == "thunked"
+            return compiled
+
+        assert_deterministic(compile_once)
+
+    def test_forced_strategies_each_deterministic(self):
+        for strategy in ("thunkless", "thunked"):
+            assert_deterministic(
+                lambda s=strategy: compile_array(
+                    kernels.SQUARES, params={"n": 6}, force_strategy=s
+                )
+            )
+
+
+class TestInPlaceDeterminism:
+    def test_jacobi(self):
+        def compile_once():
+            compiled = compile_array_inplace(
+                kernels.JACOBI, "u", params={"m": 8}
+            )
+            assert compiled.report.strategy == "inplace"
+            return compiled
+
+        assert_deterministic(compile_once)
+
+    def test_sor(self):
+        assert_deterministic(
+            lambda: compile_array_inplace(
+                kernels.SOR, "u", params={"m": 8}
+            )
+        )
+
+    def test_whole_copy_fallback(self):
+        def compile_once():
+            compiled = compile_array_inplace(
+                kernels.REVERSE, "a", params={"n": 8}
+            )
+            assert compiled.report.strategy == "inplace-copy"
+            return compiled
+
+        assert_deterministic(compile_once)
+
+
+class TestReportTimings:
+    """Timings ride on the report but never affect its semantics."""
+
+    def test_pipeline_records_pass_timings(self):
+        compiled = compile_array(kernels.WAVEFRONT, params={"n": 6})
+        timings = compiled.report.timings
+        for name in ("parse", "build", "dependence", "schedule",
+                     "codegen", "total"):
+            assert name in timings
+            assert timings[name] >= 0.0
+
+    def test_summary_does_not_include_timings(self):
+        compiled = compile_array(kernels.WAVEFRONT, params={"n": 6})
+        assert "total" not in compiled.report.summary().lower()
