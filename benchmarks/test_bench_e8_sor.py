@@ -9,33 +9,20 @@ thunked monolithic equivalent.
 
 import pytest
 
-from repro import FlatArray, compile_array, compile_array_inplace
-from repro.kernels import SOR, mesh_cells, ref_sor
+import repro
+from repro import FlatArray
+from repro.kernels import SOR, SOR_MONOLITHIC, mesh_cells, ref_sor
 from repro.runtime import incremental
 from repro.runtime.thunks import STATS as THUNK_STATS
 
 M = 32
 OMEGA = 1.5
 
-# Monolithic form of one SOR sweep (fresh output array), used for the
-# thunked comparison: same arithmetic, no storage reuse.
-SOR_MONOLITHIC = """
-letrec a = array ((1,1),(m,m))
-   ([ (1,j) := u!(1,j) | j <- [1..m] ] ++
-    [ (m,j) := u!(m,j) | j <- [1..m] ] ++
-    [ (i,1) := u!(i,1) | i <- [2..m-1] ] ++
-    [ (i,m) := u!(i,m) | i <- [2..m-1] ] ++
-    [ (i,j) := u!(i,j) + omega *
-         (0.25 * (a!(i-1,j) + a!(i,j-1) + u!(i+1,j) + u!(i,j+1))
-          - u!(i,j))
-      | i <- [2..m-1], j <- [2..m-1] ])
-in a
-"""
-
 
 @pytest.mark.benchmark(group="E8-sor")
 def test_e8_compiled_inplace(benchmark, mesh_factory):
-    compiled = compile_array_inplace(SOR, "u", params={"m": M})
+    compiled = repro.compile(SOR, strategy="inplace", old_array="u",
+                             params={"m": M})
     assert compiled.report.strategy == "inplace"
     assert compiled.report.schedule.loop_directions() == {
         "i": ["forward"], "j": ["forward"],
@@ -62,7 +49,7 @@ def test_e8_hand_coded(benchmark):
 
 @pytest.mark.benchmark(group="E8-sor")
 def test_e8_thunked_monolithic(benchmark):
-    compiled = compile_array(SOR_MONOLITHIC, params={"m": M},
+    compiled = repro.compile(SOR_MONOLITHIC, params={"m": M},
                              force_strategy="thunked")
     u = FlatArray.from_list(((1, 1), (M, M)), mesh_cells(M))
 

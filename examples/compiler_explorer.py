@@ -9,7 +9,8 @@ the thunk fallback firing.
 Run:  python examples/compiler_explorer.py
 """
 
-from repro import analyze, compile_array
+import repro
+from repro import analyze
 from repro.kernels import (
     ABC_ACYCLIC,
     BACKWARD_RECURRENCE,
@@ -35,7 +36,7 @@ def show(title, src, params=None, show_code=False):
           f"empties: {report.empties.status}; "
           f"schedulable: {report.schedule.ok}")
     if show_code and report.schedule.ok:
-        compiled = compile_array(src, params=params)
+        compiled = repro.compile(src, params=params)
         print("\ngenerated code:")
         body = compiled.source.split("def _build(_env):")[1]
         print("def _build(_env):" + body)
@@ -71,7 +72,7 @@ def main():
         "expected: thunk fallback",
         CYCLIC_FALLBACK,
     )
-    compiled = compile_array(CYCLIC_FALLBACK)
+    compiled = repro.compile(CYCLIC_FALLBACK)
     print(f"fallback compiled with strategy: {compiled.report.strategy}")
     result = compiled({})
     print(f"...and still computes correct values: {result.to_list()[:6]}...")

@@ -21,7 +21,8 @@ Run:  python examples/iterative_solvers.py
 
 import math
 
-from repro import FlatArray, compile_array_inplace
+import repro
+from repro import FlatArray
 from repro.kernels import GAUSS_SEIDEL, JACOBI, SOR
 from repro.runtime import incremental
 
@@ -40,7 +41,7 @@ def make_mesh():
 
 
 def solve(kernel_src, label, extra_env=None):
-    compiled = compile_array_inplace(kernel_src, "u", params={"m": M})
+    compiled = repro.compile(kernel_src, old_array="u", params={"m": M})
     mesh = make_mesh()
     env = {"u": mesh}
     env.update(extra_env or {})

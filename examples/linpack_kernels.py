@@ -14,7 +14,8 @@ Run:  python examples/linpack_kernels.py
 
 import random
 
-from repro import FlatArray, compile_array_inplace
+import repro
+from repro import FlatArray
 from repro.runtime import incremental
 
 N = 12
@@ -47,8 +48,8 @@ def lu_solve(matrix_rows, rhs):
         if pivot != k:
             key = (k, pivot)
             if key not in swaps:
-                swaps[key] = compile_array_inplace(
-                    SWAP_ROWS, "a", params={"m": N, "i": k, "k": pivot}
+                swaps[key] = repro.compile(
+                    SWAP_ROWS, old_array="a", params={"m": N, "i": k, "k": pivot}
                 )
             swaps[key]({"a": a})
             b[k - 1], b[pivot - 1] = b[pivot - 1], b[k - 1]
@@ -56,8 +57,8 @@ def lu_solve(matrix_rows, rhs):
             s = a.at((i, k)) / a.at((k, k))
             key = (i, k)
             if key not in eliminations:
-                eliminations[key] = compile_array_inplace(
-                    ELIMINATE, "a",
+                eliminations[key] = repro.compile(
+                    ELIMINATE, old_array="a",
                     params={"m": N, "i": i, "k": k, "p": k},
                 )
             eliminations[key]({"a": a, "s": s})

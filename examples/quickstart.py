@@ -10,7 +10,8 @@ Run:  python examples/quickstart.py
 
 import time
 
-from repro import analyze, compile_array, evaluate
+import repro
+from repro import analyze, evaluate
 from repro.kernels import WAVEFRONT, ref_wavefront
 from repro.report import render_edges, render_schedule
 
@@ -37,7 +38,7 @@ def main():
 
     # ------------------------------------------------------------------
     # 2. Compile and run — thunklessly, all checks elided.
-    compiled = compile_array(WAVEFRONT, params={"n": N})
+    compiled = repro.compile(WAVEFRONT, params={"n": N})
     start = time.perf_counter()
     result = compiled({"n": N})
     thunkless_time = time.perf_counter() - start
@@ -55,7 +56,7 @@ def main():
 
     small = 12
     oracle = evaluate(WAVEFRONT, bindings={"n": small}, deep=False)
-    small_compiled = compile_array(WAVEFRONT, params={"n": small})
+    small_compiled = repro.compile(WAVEFRONT, params={"n": small})
     assert small_compiled({"n": small}).to_list() == [
         oracle.at(s) for s in oracle.bounds.range()
     ]
@@ -63,7 +64,7 @@ def main():
 
     # ------------------------------------------------------------------
     # 4. The cost of not scheduling: thunked code for the same array.
-    thunked = compile_array(WAVEFRONT, params={"n": N},
+    thunked = repro.compile(WAVEFRONT, params={"n": N},
                             force_strategy="thunked")
     start = time.perf_counter()
     thunked({"n": N})

@@ -10,7 +10,7 @@ node-splitting, and Python code generation.
 
 Quick start::
 
-    from repro import compile_array, evaluate
+    import repro
 
     wavefront = '''
     letrec* a = array ((1,1),(n,n))
@@ -20,10 +20,16 @@ Quick start::
           | i <- [2..n], j <- [2..n] ])
     in a
     '''
-    compiled = compile_array(wavefront, params={"n": 100})
+    compiled = repro.compile(wavefront, params={"n": 100})
     a = compiled({"n": 100})          # thunkless, scheduled loops
     print(compiled.report.summary())  # what the compiler proved
-    oracle = evaluate(wavefront, bindings={"n": 100}, deep=False)
+    oracle = repro.evaluate(wavefront, bindings={"n": 100}, deep=False)
+
+``repro.compile`` is the single entry point: ``strategy=`` selects
+monolithic (``"array"``), in-place (``"inplace"`` + ``old_array=``),
+``"bigupd"``, or accumulated (``"accum"``) compilation — or ``"auto"``
+(the default) to detect it from the source.  The per-mode functions
+(``compile_array`` and friends) are deprecated wrappers.
 """
 
 from repro.codegen import CodegenOptions, FlatArray
@@ -31,10 +37,12 @@ from repro.core.pipeline import (
     CompileError,
     Report,
     analyze,
+    compile,
     compile_accum_array,
     compile_array,
     compile_array_inplace,
     compile_bigupd,
+    detect_strategy,
 )
 from repro.interp import evaluate, run_program
 from repro.lang import parse_expr, parse_program, pretty
@@ -70,10 +78,12 @@ __all__ = [
     "accum_array",
     "analyze",
     "bigupd",
+    "compile",
     "compile_accum_array",
     "compile_array",
     "compile_array_inplace",
     "compile_bigupd",
+    "detect_strategy",
     "evaluate",
     "fingerprint",
     "force_elements",

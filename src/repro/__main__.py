@@ -31,14 +31,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import (
-    CodegenOptions,
-    CompileError,
-    analyze,
-    compile_array,
-    compile_array_inplace,
-    evaluate,
-)
+import repro
+from repro import CodegenOptions, CompileError, analyze, evaluate
+from repro.codegen.exprs import CodegenError
 from repro.report import render_edges, render_schedule
 
 #: Sentinel for ``--cache`` given without a directory.
@@ -146,6 +141,15 @@ def main(argv=None) -> int:
     parser.add_argument("--vectorize", action="store_true",
                         help="emit numpy slices for dependence-free "
                              "innermost loops")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run the parallel backend: hyperplane "
+                             "wavefront sweeps and dep-free slice/"
+                             "thread-chunk loops")
+    parser.add_argument("--parallel-threads", type=int, default=0,
+                        metavar="N",
+                        help="thread-pool width for dep-free loops "
+                             "that resist slice translation "
+                             "(requires --parallel)")
     parser.add_argument("--inplace", metavar="OLD_ARRAY",
                         help="compile for in-place update of OLD_ARRAY")
     parser.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE,
@@ -174,26 +178,26 @@ def main(argv=None) -> int:
         print(f"vectorizable inner loops: {report.vectorizable}")
         return 0
 
-    options = None
-    if args.vectorize:
-        options = CodegenOptions(vectorize=True)
     try:
-        if args.inplace:
-            if args.cache:
-                print("note: --cache covers monolithic compiles only; "
-                      "compiling in-place uncached", file=sys.stderr)
-            compiled = compile_array_inplace(source, args.inplace,
-                                             params=params,
-                                             options=options)
-        else:
-            compiled = compile_array(
-                source,
-                params=params,
-                options=options,
-                force_strategy=(None if args.strategy == "auto"
-                                else args.strategy),
-                cache=_cache_dir(args.cache),
-            )
+        options = CodegenOptions.from_flags(
+            vectorize=args.vectorize,
+            parallel=args.parallel,
+            parallel_threads=args.parallel_threads,
+            inplace=bool(args.inplace),
+        )
+    except CodegenError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        compiled = repro.compile(
+            source,
+            strategy="inplace" if args.inplace else "auto",
+            old_array=args.inplace,
+            params=params,
+            options=options,
+            force_strategy=(None if args.strategy == "auto"
+                            else args.strategy),
+            cache=_cache_dir(args.cache),
+        )
     except CompileError as exc:
         raise SystemExit(f"compile error: {exc}") from exc
 

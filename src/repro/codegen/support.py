@@ -132,6 +132,45 @@ def make_slice(start: int, stride: int, count: int) -> slice:
     return slice(start, stop, stride)
 
 
+def par_chunks(body, start: int, stop: int, step: int,
+               workers: int) -> None:
+    """Run ``body(lo, hi)`` over contiguous chunks of an inclusive range.
+
+    The parallel backend's thread-pool fallback for dependence-free
+    loops that resist slice translation: the index range
+    ``start, start+step, ..., stop`` is split into up to ``workers``
+    balanced contiguous chunks and each chunk's ``body(lo, hi)`` runs
+    on its own pool thread (``body`` iterates ``range(lo, hi+1, step)``
+    itself).  Exceptions propagate after all chunks finish submitting.
+    """
+    if step <= 0:
+        raise ValueError("par_chunks requires a positive step")
+    total = (stop - start) // step + 1
+    if total <= 0:
+        return
+    workers = max(1, min(workers, total))
+    if workers == 1:
+        body(start, start + (total - 1) * step)
+        return
+    from concurrent.futures import ThreadPoolExecutor
+
+    base, extra = divmod(total, workers)
+    chunks = []
+    first = 0
+    for index in range(workers):
+        count = base + (1 if index < extra else 0)
+        if count == 0:
+            continue
+        lo = start + first * step
+        hi = start + (first + count - 1) * step
+        chunks.append((lo, hi))
+        first += count
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        futures = [pool.submit(body, lo, hi) for lo, hi in chunks]
+        for future in futures:
+            future.result()
+
+
 def check_bounds(linear: int, size: int, subscript) -> None:
     """Runtime bounds check (counted)."""
     CHECK_STATS.bounds_checks += 1

@@ -43,7 +43,7 @@ class NestParallelism:
     """
 
     clause: SVClause
-    distances: Tuple[Tuple[int, ...], ...]
+    distances: Optional[Tuple[Tuple[int, ...], ...]]
     hyperplane: Optional[Tuple[int, ...]]
     steps: Optional[int] = None
     work: Optional[int] = None
@@ -56,8 +56,12 @@ class NestParallelism:
 
     @property
     def fully_parallel(self) -> bool:
-        """No dependences at all: every instance can run at once."""
-        return not self.distances
+        """No dependences at all: every instance can run at once.
+
+        ``distances is None`` means *unknown* distances, which is the
+        opposite of dependence-free — only an empty tuple qualifies.
+        """
+        return self.distances == ()
 
     def __repr__(self):
         return (
@@ -173,6 +177,121 @@ def _nest_extents(clause: SVClause) -> Optional[Tuple[int, ...]]:
     return tuple(extents)
 
 
+# ----------------------------------------------------------------------
+# Profile -> executable plan (the parallel backend's decision layer).
+
+#: Plan kinds, in decreasing order of extracted parallelism.
+WAVEFRONT = "wavefront"      # every loop carried: anti-diagonal sweeps
+DEP_FREE = "dep-free"        # no self dependence: slice or thread-chunk
+SEQUENTIAL = "sequential"    # no profile applies: scalar schedule
+
+
+@dataclass
+class ClausePlan:
+    """Executable decision for one clause's loop nest.
+
+    ``kind`` is :data:`WAVEFRONT`, :data:`DEP_FREE`, or
+    :data:`SEQUENTIAL`; ``reason`` explains a sequential decision (or
+    qualifies a positive one).  The emitter may still fall back per
+    clause when the value expression resists vector translation — that
+    outcome is recorded separately in the compilation report.
+    """
+
+    clause: SVClause
+    kind: str
+    profile: Optional[NestParallelism] = None
+    reason: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.clause.label}: {self.kind}"
+        if self.kind == WAVEFRONT and self.profile is not None:
+            text += (
+                f" h={self.profile.hyperplane}"
+                f" ({self.profile.steps} steps / {self.profile.work} work)"
+            )
+        if self.reason:
+            text += f" ({self.reason})"
+        return text
+
+
+@dataclass
+class ParallelPlan:
+    """Per-clause execution plan derived from the §10 profiles."""
+
+    clauses: List[ClausePlan] = field(default_factory=list)
+
+    def for_clause(self, clause: SVClause) -> Optional[ClausePlan]:
+        for plan in self.clauses:
+            if plan.clause is clause:
+                return plan
+        return None
+
+    def decisions(self) -> List[str]:
+        return [plan.describe() for plan in self.clauses]
+
+    @property
+    def any_parallel(self) -> bool:
+        return any(p.kind != SEQUENTIAL for p in self.clauses)
+
+
+def plan_parallelism(
+    comp: ArrayComp,
+    edges: Sequence[DepEdge],
+    profiles: Optional[Sequence[NestParallelism]] = None,
+) -> ParallelPlan:
+    """Turn analytic profiles into an executable plan.
+
+    The mapping is conservative: a clause is planned for the wavefront
+    backend only when the hyperplane is the ``(1,1)`` anti-diagonal of
+    a rank-2 nest (the paper's own wavefront and Livermore-23 shape)
+    and the critical path is genuinely shorter than the work; dep-free
+    nests go to the slice/chunk backend; everything else stays on the
+    sequential schedule with the reason recorded.
+    """
+    if profiles is None:
+        profiles = analyze_parallelism(comp, edges)
+    plan = ParallelPlan()
+    for profile in profiles:
+        clause = profile.clause
+        if profile.distances is None:
+            plan.clauses.append(ClausePlan(
+                clause, SEQUENTIAL, profile,
+                "dependence distances are not constant",
+            ))
+            continue
+        if profile.fully_parallel:
+            plan.clauses.append(ClausePlan(
+                clause, DEP_FREE, profile,
+                "no loop-carried dependence",
+            ))
+            continue
+        hyperplane = profile.hyperplane
+        if hyperplane is None:
+            plan.clauses.append(ClausePlan(
+                clause, SEQUENTIAL, profile, "no legal hyperplane",
+            ))
+            continue
+        if (
+            profile.steps is not None
+            and profile.work is not None
+            and profile.steps >= profile.work
+        ):
+            plan.clauses.append(ClausePlan(
+                clause, SEQUENTIAL, profile,
+                "critical path equals work (fully sequential nest)",
+            ))
+            continue
+        if hyperplane != (1, 1) or len(clause.loops) != 2:
+            plan.clauses.append(ClausePlan(
+                clause, SEQUENTIAL, profile,
+                f"hyperplane {hyperplane} unsupported by codegen "
+                "(only (1,1) over rank-2 nests)",
+            ))
+            continue
+        plan.clauses.append(ClausePlan(clause, WAVEFRONT, profile))
+    return plan
+
+
 def analyze_parallelism(
     comp: ArrayComp, edges: Sequence[DepEdge]
 ) -> List[NestParallelism]:
@@ -183,7 +302,7 @@ def analyze_parallelism(
             continue
         distances = dependence_distances(comp, clause, edges)
         if distances is None:
-            out.append(NestParallelism(clause, (), None))
+            out.append(NestParallelism(clause, None, None))
             continue
         extents = _nest_extents(clause)
         work = None

@@ -1,6 +1,7 @@
 """The end-to-end compiler driver.
 
-``compile_array(src, params)`` runs the full pipeline of the paper:
+``compile(src, strategy=...)`` is the single public entry point; it
+runs the full pipeline of the paper:
 
 1. parse the ``letrec``/``letrec*`` array definition;
 2. build the normalized loop IR (§6 normalization);
@@ -8,20 +9,27 @@
    checks survive;
 4. flow-dependence analysis (§5, §6) and static scheduling (§8);
 5. code generation: thunkless loops when the schedule is safe, the
-   thunked fallback otherwise.
+   thunked fallback otherwise — optionally vectorized (§10) or run
+   through the parallel backend (§10: hyperplane wavefronts and
+   dependence-free loops).
 
-``compile_array_inplace(src, old_array, params)`` adds the §9 path:
-anti edges against the dead input array, node-splitting planning, and
-in-place code generation.
+``strategy`` selects the compilation mode — ``"array"`` (monolithic),
+``"inplace"`` (the §9 storage-reuse path: anti edges against the dead
+input array, node-splitting, in-place codegen), ``"bigupd"`` (the §9
+surface form), ``"accum"`` (accumulated arrays) — or ``"auto"``, which
+detects the mode from the source's shape.  The legacy per-mode entry
+points (``compile_array`` and friends) remain as thin deprecated
+wrappers.
 
-Both return a :class:`~repro.codegen.compile.CompiledComp` whose
+All modes return a :class:`~repro.codegen.compile.CompiledComp` whose
 ``report`` records every decision (dependence edges, schedule, checks,
-fallbacks, vectorizable loops) — the compile-time side of each
-experiment in EXPERIMENTS.md.
+fallbacks, vectorizable loops, parallel-backend decisions) — the
+compile-time side of each experiment in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -70,6 +78,9 @@ class Report:
     inplace_plan: Optional[InPlacePlan] = None
     vectorizable: List[str] = field(default_factory=list)
     parallelism: List = field(default_factory=list)
+    #: Parallel-backend decisions (one line per clause/loop): what the
+    #: wavefront/dep-free emitters did and why anything fell back.
+    parallel: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per pipeline pass (parse, build, dependence,
     #: schedule, codegen, ...) — consumed by the compile service's
@@ -105,6 +116,8 @@ class Report:
                     f"{profile.steps} of {profile.work} "
                     f"(speedup bound {profile.speedup_bound:.1f})"
                 )
+        for decision in self.parallel:
+            lines.append(f"parallel: {decision}")
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
@@ -138,6 +151,37 @@ def _vectorizable_loops(comp: ArrayComp, edges: List[DepEdge]) -> List[str]:
     return out
 
 
+def _base_report(
+    comp: ArrayComp,
+    collision: CollisionReport,
+    empties: EmptiesReport,
+    edges: List[DepEdge],
+    schedule: Optional[Schedule],
+    flow: Optional[List[DepEdge]] = None,
+    timings: Optional[Dict[str, float]] = None,
+) -> Report:
+    """One :class:`Report` constructor for every strategy.
+
+    All strategies populate the same analysis fields (vectorizable
+    loops, §10 parallelism profiles) from the *flow* edges, so
+    ``summary()`` output is line-for-line comparable — and stable —
+    across strategies (the facade's fingerprints rely on this).
+    """
+    from repro.core.parallel import analyze_parallelism
+
+    flow = edges if flow is None else flow
+    return Report(
+        comp=comp,
+        collision=collision,
+        empties=empties,
+        edges=edges,
+        schedule=schedule,
+        vectorizable=_vectorizable_loops(comp, flow),
+        parallelism=analyze_parallelism(comp, flow),
+        timings=timings if timings is not None else {},
+    )
+
+
 def analyze(
     src,
     params: Optional[Dict[str, int]] = None,
@@ -164,49 +208,25 @@ def analyze(
     tick = perf_counter()
     schedule = schedule_comp(comp, edges)
     timings["schedule"] = perf_counter() - tick
-    from repro.core.parallel import analyze_parallelism
-
     tick = perf_counter()
-    report = Report(
-        comp=comp,
-        collision=collision,
-        empties=empties,
-        edges=edges,
-        schedule=schedule,
-        vectorizable=_vectorizable_loops(comp, edges),
-        parallelism=analyze_parallelism(comp, edges),
-        timings=timings,
-    )
+    report = _base_report(comp, collision, empties, edges, schedule,
+                          timings=timings)
     timings["parallelism"] = perf_counter() - tick
     return report
 
 
-def compile_array(
+def _compile_array(
     src,
     params: Optional[Dict[str, int]] = None,
     options: Optional[CodegenOptions] = None,
     force_strategy: Optional[str] = None,
-    cache=None,
 ) -> CompiledComp:
-    """Compile a ``letrec*`` array definition end to end.
+    """Monolithic compilation (the ``"array"`` strategy of the facade).
 
     ``force_strategy`` overrides the pipeline's choice (``"thunked"``
     or ``"thunkless"``) for benchmarking; forcing ``"thunkless"`` on an
     unsafely scheduled array raises :class:`CompileError`.
-
-    ``cache`` (default off) routes the request through the compile
-    service so repeated compilations are served from a fingerprint-
-    keyed cache instead of re-running analysis: pass ``True`` for the
-    shared in-memory service, a directory path for a persistent cache,
-    or a :class:`~repro.service.service.CompileService`.
     """
-    if cache is not None and cache is not False:
-        from repro.service.service import resolve_cache
-
-        return resolve_cache(cache).compile(
-            src, params=params, options=options,
-            force_strategy=force_strategy,
-        )
     from time import perf_counter
 
     started = perf_counter()
@@ -274,12 +294,36 @@ def compile_array(
 
     from repro.codegen.exprs import CodegenError
 
+    parallel_plan = None
+    if options.parallel:
+        if strategy == "thunkless":
+            from repro.core.parallel import plan_parallelism
+
+            parallel_plan = plan_parallelism(
+                report.comp, report.edges, report.parallelism
+            )
+            for entry in parallel_plan.clauses:
+                if entry.kind == "sequential":
+                    report.parallel.append(entry.describe())
+            report.notes.append(
+                "parallel backend requested (paper §10 executed): "
+                "wavefront nests sweep anti-diagonals, dep-free loops "
+                "run as slices or thread chunks"
+            )
+        else:
+            report.notes.append(
+                "parallel backend inapplicable: the thunked fallback "
+                "has no static schedule to parallelize"
+            )
+
     tick = perf_counter()
     try:
         if strategy == "thunkless":
             source = emit_thunkless(
                 report.comp, report.schedule, options, params,
                 edges=report.edges,
+                parallel_plan=parallel_plan,
+                parallel_log=report.parallel,
             )
             if options.vectorize:
                 report.notes.append(
@@ -314,14 +358,14 @@ def find_bigupd(expr: ast.Node):
     )
 
 
-def compile_bigupd(
+def _compile_bigupd(
     src,
     params: Optional[Dict[str, int]] = None,
     options: Optional[CodegenOptions] = None,
 ) -> CompiledComp:
     """Compile the paper's §9 ``bigupd a svpairs`` construct directly.
 
-    Sugar over :func:`compile_array_inplace`: the updated array's name
+    Sugar over the in-place path: the updated array's name
     is read from the ``bigupd`` application and its bounds are taken
     from the input array at run time.  ``bigupd`` semantics — all reads
     see the *original* values — is exactly the anti-dependence model,
@@ -335,7 +379,7 @@ def compile_bigupd(
     )
 
 
-def compile_accum_array(
+def _compile_accum_array(
     src,
     params: Optional[Dict[str, int]] = None,
     options: Optional[CodegenOptions] = None,
@@ -393,18 +437,16 @@ def compile_accum_array(
             + "; ".join(schedule.failures)
         )
 
-    report = Report(
-        comp=comp,
-        collision=collision,
-        empties=empties,
-        edges=edges,
-        schedule=schedule,
-        strategy="accumulate",
-        checks=options or CodegenOptions(),
-        vectorizable=_vectorizable_loops(comp, edges),
-        notes=[f"combiner: {kind}" + (f" ({op})" if op else ""),
-               strategy_note],
-    )
+    report = _base_report(comp, collision, empties, edges, schedule)
+    report.strategy = "accumulate"
+    report.checks = options or CodegenOptions()
+    report.notes += [f"combiner: {kind}" + (f" ({op})" if op else ""),
+                     strategy_note]
+    if options is not None and options.parallel:
+        report.notes.append(
+            "parallel backend inapplicable: accumulated arrays "
+            "combine element-wise in schedule order"
+        )
     try:
         source = emit_accum(comp, schedule, combine, init_ast,
                             report.checks, params)
@@ -413,7 +455,7 @@ def compile_accum_array(
     return CompiledComp(source, report)
 
 
-def compile_array_inplace(
+def _compile_array_inplace(
     src,
     old_array: str,
     params: Optional[Dict[str, int]] = None,
@@ -452,14 +494,8 @@ def _compile_inplace_parts(
     anti = anti_edges(comp, old_array)
     edges = flow + anti
     schedule = schedule_comp(comp, edges, allow_node_splitting=True)
-    report = Report(
-        comp=comp,
-        collision=collision,
-        empties=empties,
-        edges=edges,
-        schedule=schedule,
-        vectorizable=_vectorizable_loops(comp, flow),
-    )
+    report = _base_report(comp, collision, empties, edges, schedule,
+                          flow=flow)
     if not schedule.ok:
         raise CompileError(
             "cannot schedule in-place update: "
@@ -490,3 +526,176 @@ def _compile_inplace_parts(
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
     return CompiledComp(source, report)
+
+
+# ----------------------------------------------------------------------
+# The unified facade (and the deprecated per-mode wrappers).
+
+#: Strategies the facade accepts.
+STRATEGIES = ("auto", "array", "inplace", "bigupd", "accum")
+
+
+def detect_strategy(expr) -> str:
+    """Pick the compilation strategy from the source's shape.
+
+    ``bigupd`` applications compile in place into their named input;
+    ``accumArray`` applications compile as accumulated arrays;
+    everything else is a monolithic array definition.
+    """
+    expr = _parse(expr)
+    try:
+        find_bigupd(expr)
+        return "bigupd"
+    except CompileError:
+        pass
+    from repro.core.accum import find_accum_array
+
+    try:
+        find_accum_array(expr)
+        return "accum"
+    except ValueError:
+        pass
+    return "array"
+
+
+def compile(
+    src,
+    *,
+    strategy: str = "auto",
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+    old_array: Optional[str] = None,
+    force_strategy: Optional[str] = None,
+    cache=None,
+) -> CompiledComp:
+    """Compile an array definition — the single public entry point.
+
+    Parameters
+    ----------
+    strategy:
+        ``"array"`` (monolithic), ``"inplace"`` (§9 storage reuse into
+        ``old_array``), ``"bigupd"`` (the §9 surface form), ``"accum"``
+        (accumulated arrays), or ``"auto"`` (the default): detect
+        ``bigupd``/``accumArray`` shapes from the source, treat a
+        given ``old_array`` as a request for ``"inplace"``, and fall
+        back to ``"array"``.
+    params:
+        Size parameters the analyses may fold into trip counts.
+    options:
+        :class:`~repro.codegen.emit.CodegenOptions` (checks,
+        ``vectorize``, ``parallel``); ``None`` lets the pipeline pick
+        runtime checks from its own analysis.
+    old_array:
+        The input array overwritten by the ``"inplace"`` strategy.
+    force_strategy:
+        ``"thunkless"``/``"thunked"`` override for the ``"array"``
+        strategy (benchmarking).
+    cache:
+        Route through the compile service: ``True`` for the shared
+        in-memory service, a directory path for a persistent cache, or
+        a :class:`~repro.service.service.CompileService`.  Covers
+        every strategy.
+    """
+    if strategy not in STRATEGIES:
+        raise CompileError(
+            f"unknown strategy {strategy!r}; expected one of "
+            + ", ".join(repr(s) for s in STRATEGIES)
+        )
+    resolved = strategy
+    if resolved == "auto":
+        resolved = "inplace" if old_array is not None \
+            else detect_strategy(src)
+    if resolved == "inplace" and old_array is None:
+        raise CompileError(
+            "strategy 'inplace' needs old_array= (the input array "
+            "whose storage is reused)"
+        )
+    if resolved != "inplace" and old_array is not None:
+        raise CompileError(
+            f"old_array= only applies to strategy 'inplace' "
+            f"(resolved strategy here: {resolved!r})"
+        )
+    if force_strategy is not None and resolved != "array":
+        raise CompileError(
+            "force_strategy= (thunkless/thunked) only applies to "
+            f"strategy 'array' (resolved strategy here: {resolved!r})"
+        )
+    if options is not None and options.parallel \
+            and resolved in ("inplace", "bigupd"):
+        raise CompileError(
+            "the parallel backend cannot target in-place updates "
+            f"(strategy {resolved!r}): wavefront/dep-free slices read "
+            "immutable numpy views, but the input buffer is mutated "
+            "in place; drop parallel or compile monolithically"
+        )
+
+    if cache is not None and cache is not False:
+        from repro.service.service import resolve_cache
+
+        return resolve_cache(cache).compile(
+            src, params=params, options=options,
+            force_strategy=force_strategy,
+            strategy=resolved, old_array=old_array,
+        )
+
+    if resolved == "array":
+        return _compile_array(src, params, options, force_strategy)
+    if resolved == "inplace":
+        return _compile_array_inplace(src, old_array, params, options)
+    if resolved == "bigupd":
+        return _compile_bigupd(src, params, options)
+    return _compile_accum_array(src, params, options)
+
+
+def _deprecated(old_name: str, hint: str) -> None:
+    warnings.warn(
+        f"{old_name}() is deprecated; use repro.compile({hint})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def compile_array(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+    force_strategy: Optional[str] = None,
+    cache=None,
+) -> CompiledComp:
+    """Deprecated: use :func:`compile` (``strategy="array"``)."""
+    _deprecated("compile_array", "src, strategy='array'")
+    return compile(src, strategy="array", params=params, options=options,
+                   force_strategy=force_strategy, cache=cache)
+
+
+def compile_array_inplace(
+    src,
+    old_array: str,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledComp:
+    """Deprecated: use :func:`compile` (``strategy="inplace"``)."""
+    _deprecated("compile_array_inplace",
+                "src, strategy='inplace', old_array=...")
+    return compile(src, strategy="inplace", old_array=old_array,
+                   params=params, options=options)
+
+
+def compile_bigupd(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledComp:
+    """Deprecated: use :func:`compile` (``strategy="bigupd"``)."""
+    _deprecated("compile_bigupd", "src, strategy='bigupd'")
+    return compile(src, strategy="bigupd", params=params, options=options)
+
+
+def compile_accum_array(
+    src,
+    params: Optional[Dict[str, int]] = None,
+    options: Optional[CodegenOptions] = None,
+) -> CompiledComp:
+    """Deprecated: use :func:`compile` (``strategy="accum"``)."""
+    _deprecated("compile_accum_array", "src, strategy='accum'")
+    return compile(src, strategy="accum", params=params, options=options)

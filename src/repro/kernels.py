@@ -5,9 +5,9 @@ Every worked example and efficiency claim of Anderson & Hudak (PLDI
 implementations, so tests, benchmarks, and examples share one
 definition of each kernel.
 
-The monolithic kernels are meant for :func:`repro.compile_array` (and
-the lazy oracle :func:`repro.evaluate`); the in-place kernels for
-:func:`repro.compile_array_inplace`.
+The monolithic kernels are meant for :func:`repro.compile` (and the
+lazy oracle :func:`repro.evaluate`); the in-place kernels for
+``repro.compile(..., strategy="inplace", old_array=...)``.
 """
 
 from __future__ import annotations
@@ -25,6 +25,19 @@ letrec* a = array ((1,1),(n,n))
    ([ (1,j) := 1 | j <- [1..n] ] ++
     [ (i,1) := 1 | i <- [2..n] ] ++
     [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)
+      | i <- [2..n], j <- [2..n] ])
+in a
+"""
+
+#: Float wavefront (the §10 hyperplane showcase): same dependence
+#: pattern as :data:`WAVEFRONT`, but with float borders and a convex
+#: stencil so values stay bounded at any size — the parallel backend's
+#: anti-diagonal sweep is bit-identical to the scalar schedule here.
+WAVEFRONT_F = """
+letrec* a = array ((1,1),(n,n))
+   ([ (1,j) := 1.0 | j <- [1..n] ] ++
+    [ (i,1) := 1.0 | i <- [2..n] ] ++
+    [ (i,j) := 0.25 * (a!(i-1,j) + a!(i,j-1)) + 0.5 * a!(i-1,j-1)
       | i <- [2..n], j <- [2..n] ])
 in a
 """
@@ -170,6 +183,23 @@ letrec a = array ((1,1),(m,m))
 in a
 """
 
+#: Monolithic form of one SOR sweep (fresh output array, borders
+#: copied through): same arithmetic as :data:`SOR`, no storage reuse.
+#: The interior clause carries dependences at both loop levels, so
+#: the parallel backend runs it as a hyperplane (1,1) wavefront.
+SOR_MONOLITHIC = """
+letrec a = array ((1,1),(m,m))
+   ([ (1,j) := u!(1,j) | j <- [1..m] ] ++
+    [ (m,j) := u!(m,j) | j <- [1..m] ] ++
+    [ (i,1) := u!(i,1) | i <- [2..m-1] ] ++
+    [ (i,m) := u!(i,m) | i <- [2..m-1] ] ++
+    [ (i,j) := u!(i,j) + omega *
+         (0.25 * (a!(i-1,j) + a!(i,j-1) + u!(i+1,j) + u!(i,j+1))
+          - u!(i,j))
+      | i <- [2..m-1], j <- [2..m-1] ])
+in a
+"""
+
 #: Plain Gauss-Seidel (omega = 1 form, matches the paper's simplified
 #: fragment).
 GAUSS_SEIDEL = """
@@ -215,6 +245,20 @@ def ref_wavefront(n: int) -> List[List[int]]:
     for i in range(2, n + 1):
         for j in range(2, n + 1):
             a[i][j] = a[i - 1][j] + a[i][j - 1] + a[i - 1][j - 1]
+    return a
+
+
+def ref_wavefront_f(n: int) -> List[List[float]]:
+    """Hand-scheduled float wavefront (matches :data:`WAVEFRONT_F`)."""
+    a = [[0.0] * (n + 1) for _ in range(n + 1)]
+    for j in range(1, n + 1):
+        a[1][j] = 1.0
+    for i in range(2, n + 1):
+        a[i][1] = 1.0
+    for i in range(2, n + 1):
+        for j in range(2, n + 1):
+            a[i][j] = (0.25 * (a[i - 1][j] + a[i][j - 1])
+                       + 0.5 * a[i - 1][j - 1])
     return a
 
 
@@ -296,6 +340,8 @@ def mesh_cells(m: int, seed: int = 0) -> List[float]:
 #: Registry used by examples and benches: name -> (source, kind).
 CATALOG: Dict[str, Dict] = {
     "wavefront": {"source": WAVEFRONT, "kind": "monolithic"},
+    "wavefront_f": {"source": WAVEFRONT_F, "kind": "monolithic"},
+    "sor_monolithic": {"source": SOR_MONOLITHIC, "kind": "monolithic"},
     "stride3": {"source": STRIDE3, "kind": "monolithic"},
     "example2": {"source": EXAMPLE2, "kind": "monolithic",
                  "partial": True},

@@ -30,14 +30,19 @@ import dataclasses
 import hashlib
 from typing import Dict, List, Mapping, Optional
 
-from repro.comprehension.build import build_array_comp, find_array_comp
+from repro.comprehension.build import (
+    BuildError,
+    build_array_comp,
+    find_array_comp,
+)
 from repro.comprehension.loopir import ArrayComp, LoopNest, SVClause
 from repro.lang import ast
 from repro.lang.parser import parse_expr
 
 #: Version salt mixed into every fingerprint.  Bump the trailing
 #: counter when the pipeline's output (source or report) can change.
-PIPELINE_SALT = "repro-pipeline/1"
+#: /2: unified compile() facade, normalized reports, parallel backend.
+PIPELINE_SALT = "repro-pipeline/2"
 
 
 # ----------------------------------------------------------------------
@@ -222,6 +227,50 @@ def _options_key(options) -> str:
     return repr(sorted(dataclasses.asdict(options).items()))
 
 
+#: Facade strategies -> fingerprint modes (kept distinct from the
+#: strategy names for backward compatibility of monolithic keys).
+_STRATEGY_MODES = {
+    "array": "monolithic",
+    "inplace": "inplace",
+    "bigupd": "bigupd",
+    "accum": "accum",
+}
+
+
+def _canonical_request(expr, params, mode: str,
+                       old_array: Optional[str]):
+    """Canonicalize one request's comprehension (mode-dispatched).
+
+    Returns ``(comp_serial, old_array)`` — ``bigupd`` reads its old
+    array from the source, so the effective old name is part of the
+    canonical form for every in-place-family mode.
+    """
+    if mode == "bigupd":
+        from repro.core.pipeline import find_bigupd
+
+        old_name, pairs_ast = find_bigupd(expr)
+        comp = build_array_comp("", None, pairs_ast, params)
+        return canonical_comp(comp), old_name
+    if mode == "accum":
+        from repro.core.accum import find_accum_array
+
+        try:
+            name, f_ast, init_ast, bounds_ast, pairs_ast = \
+                find_accum_array(expr)
+        except ValueError as exc:
+            raise BuildError(str(exc)) from exc
+        comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+        serial = (
+            f"(accum f={canonical_expr(f_ast)} "
+            f"init={canonical_expr(init_ast)} {canonical_comp(comp)})"
+        )
+        return serial, old_array
+    # monolithic and inplace share the plain array-comp shape.
+    name, bounds_ast, pairs_ast = find_array_comp(expr)
+    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    return canonical_comp(comp), old_array
+
+
 def fingerprint(
     src,
     params: Optional[Dict] = None,
@@ -229,18 +278,32 @@ def fingerprint(
     force_strategy: Optional[str] = None,
     mode: str = "monolithic",
     old_array: Optional[str] = None,
+    strategy: Optional[str] = None,
     salt: str = PIPELINE_SALT,
 ) -> str:
     """SHA-256 cache key for one compilation request.
 
-    ``src`` may be source text or a parsed AST.  Raises the same
-    front-end errors the pipeline itself would raise on this input
-    (parse errors, :class:`~repro.comprehension.build.BuildError`), so
-    a fingerprint failure never masks a compile failure.
+    ``src`` may be source text or a parsed AST.  ``strategy`` (a
+    facade strategy name: ``array``/``inplace``/``bigupd``/``accum``)
+    is the preferred way to select the mode; the older ``mode``
+    spelling is kept for direct callers.  Raises the same front-end
+    errors the pipeline itself would raise on this input (parse
+    errors, :class:`~repro.comprehension.build.BuildError`), so a
+    fingerprint failure never masks a compile failure.
     """
+    if strategy is not None:
+        if strategy == "auto":
+            from repro.core.pipeline import detect_strategy
+
+            strategy = "inplace" if old_array is not None \
+                else detect_strategy(src)
+        if strategy not in _STRATEGY_MODES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        mode = _STRATEGY_MODES[strategy]
     expr = parse_expr(src) if isinstance(src, str) else src
-    name, bounds_ast, pairs_ast = find_array_comp(expr)
-    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    comp_serial, old_array = _canonical_request(
+        expr, params, mode, old_array
+    )
     parts = [
         f"salt={salt}",
         f"mode={mode}",
@@ -248,7 +311,7 @@ def fingerprint(
         f"strategy={force_strategy or 'auto'}",
         f"options={_options_key(options)}",
         f"params={sorted((params or {}).items())!r}",
-        f"comp={canonical_comp(comp)}",
+        f"comp={comp_serial}",
     ]
     digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
     return digest.hexdigest()

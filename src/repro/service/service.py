@@ -1,6 +1,6 @@
 """The compile service front end.
 
-:class:`CompileService` memoizes :func:`repro.compile_array` behind
+:class:`CompileService` memoizes :func:`repro.compile` behind
 canonical fingerprints (see :mod:`repro.service.fingerprint`) and a
 two-tier store (see :mod:`repro.service.store`):
 
@@ -41,12 +41,14 @@ from repro.service.store import DiskStore, MemoryLRU, TieredStore
 
 @dataclass
 class CompileRequest:
-    """One unit of batch work (mirrors ``compile_array``'s signature)."""
+    """One unit of batch work (mirrors ``repro.compile``'s signature)."""
 
     src: object
     params: Optional[Dict] = None
     options: object = None
     force_strategy: Optional[str] = None
+    strategy: str = "array"
+    old_array: Optional[str] = None
 
 
 @dataclass
@@ -107,7 +109,8 @@ class CompileService:
     # ------------------------------------------------------------------
 
     def fingerprint(self, src, params=None, options=None,
-                    force_strategy=None) -> str:
+                    force_strategy=None, strategy="array",
+                    old_array=None) -> str:
         """The cache key this service would use for a request.
 
         Canonical fingerprinting re-parses the source; for the hot
@@ -119,13 +122,15 @@ class CompileService:
             memo_key = (
                 src, repr(sorted((params or {}).items())),
                 _options_key(options), force_strategy,
+                strategy, old_array,
             )
             cached = self._fp_memo.get(memo_key)
             if cached is not None:
                 return cached
         key = _fingerprint(
             src, params=params, options=options,
-            force_strategy=force_strategy, salt=self.salt,
+            force_strategy=force_strategy, strategy=strategy,
+            old_array=old_array, salt=self.salt,
         )
         if memo_key is not None:
             with self._lock:
@@ -135,9 +140,11 @@ class CompileService:
         return key
 
     def compile(self, src, params=None, options=None,
-                force_strategy=None) -> CompiledComp:
-        """Compile through the cache; semantics of ``compile_array``."""
-        key = self.fingerprint(src, params, options, force_strategy)
+                force_strategy=None, strategy="array",
+                old_array=None) -> CompiledComp:
+        """Compile through the cache; semantics of ``repro.compile``."""
+        key = self.fingerprint(src, params, options, force_strategy,
+                               strategy, old_array)
         started = perf_counter()
         compiled, tier = self.store.get(key)
         if compiled is not None:
@@ -155,12 +162,12 @@ class CompileService:
             return future.result()
 
         try:
-            from repro.core.pipeline import compile_array
+            from repro.core import pipeline
 
             started = perf_counter()
-            compiled = compile_array(
-                src, params=params, options=options,
-                force_strategy=force_strategy,
+            compiled = pipeline.compile(
+                src, strategy=strategy, params=params, options=options,
+                force_strategy=force_strategy, old_array=old_array,
             )
             elapsed = perf_counter() - started
             self.store.put(key, compiled)
@@ -204,7 +211,8 @@ class CompileService:
             result = BatchResult(index=index)
             try:
                 result.fingerprint = self.fingerprint(
-                    req.src, req.params, req.options, req.force_strategy
+                    req.src, req.params, req.options, req.force_strategy,
+                    req.strategy, req.old_array,
                 )
                 result.cached = (
                     self.store.get(result.fingerprint)[0] is not None
@@ -212,6 +220,7 @@ class CompileService:
                 result.compiled = self.compile(
                     req.src, params=req.params, options=req.options,
                     force_strategy=req.force_strategy,
+                    strategy=req.strategy, old_array=req.old_array,
                 )
             except BaseException as exc:  # per-entry isolation
                 result.error = exc
@@ -252,9 +261,11 @@ class CompileService:
     # ------------------------------------------------------------------
 
     def invalidate(self, src, params=None, options=None,
-                   force_strategy=None) -> bool:
+                   force_strategy=None, strategy="array",
+                   old_array=None) -> bool:
         """Drop one request's entry from both tiers."""
-        key = self.fingerprint(src, params, options, force_strategy)
+        key = self.fingerprint(src, params, options, force_strategy,
+                               strategy, old_array)
         return self.store.invalidate(key)
 
     def clear(self) -> None:

@@ -5,12 +5,12 @@ import time
 
 import pytest
 
+import repro
 import repro.core.pipeline as pipeline_mod
 from repro import (
     CompileError,
     CompileRequest,
     CompileService,
-    compile_array,
     kernels,
 )
 from repro.service import resolve_cache
@@ -21,7 +21,7 @@ from repro.service.service import BatchResult, default_service
 def counting_pipeline(monkeypatch):
     """Count (and optionally slow down) real pipeline invocations."""
     calls = {"count": 0, "delay": 0.0}
-    real = pipeline_mod.compile_array
+    real = pipeline_mod._compile_array
 
     def wrapper(*args, **kwargs):
         calls["count"] += 1
@@ -29,7 +29,7 @@ def counting_pipeline(monkeypatch):
             time.sleep(calls["delay"])
         return real(*args, **kwargs)
 
-    monkeypatch.setattr(pipeline_mod, "compile_array", wrapper)
+    monkeypatch.setattr(pipeline_mod, "_compile_array", wrapper)
     return calls
 
 
@@ -64,7 +64,7 @@ class TestAccounting:
         service = CompileService()
         service.compile(kernels.WAVEFRONT, params={"n": 6})
         cached = service.compile(kernels.WAVEFRONT, params={"n": 6})
-        uncached = compile_array(kernels.WAVEFRONT, params={"n": 6})
+        uncached = repro.compile(kernels.WAVEFRONT, params={"n": 6})
         assert cached.source == uncached.source
         assert (cached({"n": 6}).to_list()
                 == uncached({"n": 6}).to_list())
@@ -200,13 +200,13 @@ class TestBatch:
 class TestPipelineWiring:
     def test_cache_argument_uses_service(self, counting_pipeline):
         service = CompileService()
-        compile_array(kernels.SQUARES, params={"n": 4}, cache=service)
-        compile_array(kernels.SQUARES, params={"n": 4}, cache=service)
+        repro.compile(kernels.SQUARES, params={"n": 4}, cache=service)
+        repro.compile(kernels.SQUARES, params={"n": 4}, cache=service)
         assert counting_pipeline["count"] == 1
         assert service.stats()["hits"] == 1
 
     def test_cache_path_builds_disk_service(self, tmp_path):
-        compiled = compile_array(kernels.SQUARES, params={"n": 4},
+        compiled = repro.compile(kernels.SQUARES, params={"n": 4},
                                  cache=str(tmp_path))
         assert compiled({"n": 4}).to_list() == [1, 4, 9, 16]
         assert any(tmp_path.glob("*/*.pkl"))
@@ -216,13 +216,13 @@ class TestPipelineWiring:
 
     def test_cache_off_is_pure_pipeline(self, counting_pipeline):
         # Through the patched module so invocations are observable.
-        pipeline_mod.compile_array(kernels.SQUARES, params={"n": 4})
-        pipeline_mod.compile_array(kernels.SQUARES, params={"n": 4})
+        pipeline_mod.compile(kernels.SQUARES, params={"n": 4})
+        pipeline_mod.compile(kernels.SQUARES, params={"n": 4})
         assert counting_pipeline["count"] == 2
 
     def test_bogus_cache_rejected(self):
         with pytest.raises(TypeError):
-            compile_array(kernels.SQUARES, params={"n": 4}, cache=42)
+            repro.compile(kernels.SQUARES, params={"n": 4}, cache=42)
 
 
 class TestMetricsRendering:

@@ -144,6 +144,66 @@ class TestInplaceOptions:
         assert "_snap_" in capsys.readouterr().out
 
 
+class TestParallelFlag:
+    @pytest.fixture
+    def sor_file(self, tmp_path):
+        from repro.kernels import SOR_MONOLITHIC
+
+        path = tmp_path / "sor_mono.hs"
+        path.write_text(SOR_MONOLITHIC)
+        return str(path)
+
+    def test_compile_parallel_emits_wavefront(self, sor_file, capsys):
+        assert main(
+            ["compile", sor_file, "-p", "m=12", "-p", "omega=1.5",
+             "--parallel"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parallel: clause 5: wavefront h=(1,1)" in out
+        assert "_vslice(" in out
+
+    def test_run_parallel_matches_plain(self, tmp_path, capsys):
+        # Float kernel: the numpy backends compute in float64, so an
+        # integer kernel would print 1.0 where the scalar loops print
+        # 1 (same rule as --vectorize).
+        from repro.kernels import WAVEFRONT_F
+
+        path = tmp_path / "wavefront_f.hs"
+        path.write_text(WAVEFRONT_F)
+        main(["run", str(path), "-p", "n=5"])
+        plain = capsys.readouterr().out
+        assert main(["run", str(path), "-p", "n=5",
+                     "--parallel"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_parallel_threads_flag(self, tmp_path, capsys):
+        from repro.kernels import MATMUL
+
+        path = tmp_path / "matmul.hs"
+        path.write_text(MATMUL)
+        assert main(
+            ["compile", str(path), "-p", "n=6", "--parallel",
+             "--parallel-threads", "2"]
+        ) == 0
+        assert "chunked across 2 pool threads" in capsys.readouterr().out
+
+    def test_threads_without_parallel_rejected(self, squares_file):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compile", squares_file, "-p", "n=4",
+                  "--parallel-threads", "2"])
+        assert "--parallel-threads" in str(exc_info.value)
+
+    def test_parallel_with_inplace_rejected(self, tmp_path):
+        from repro.kernels import JACOBI
+
+        path = tmp_path / "jacobi.hs"
+        path.write_text(JACOBI)
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compile", str(path), "-p", "m=8",
+                  "--inplace", "u", "--parallel"])
+        assert "--inplace" in str(exc_info.value)
+
+
 class TestCacheFlag:
     def test_run_with_cache_twice(self, wavefront_file, tmp_path,
                                   capsys):

@@ -1,0 +1,207 @@
+"""The unified ``repro.compile`` facade (strategy dispatch, wrappers).
+
+One entry point replaces the four per-mode functions: ``strategy=``
+selects the pipeline, ``"auto"`` detects it from the source, and the
+old functions survive only as thin :class:`DeprecationWarning`
+wrappers.  These tests pin (a) the dispatch matrix — the facade must
+produce the same generated source, the same report summary, and the
+same cache fingerprint as the legacy entry point it replaces — and
+(b) the facade's argument validation, which is the single place
+strategy/option conflicts are rejected.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import CodegenOptions, CompileError, FlatArray, kernels
+from repro.core.pipeline import STRATEGIES, detect_strategy
+from repro.service.fingerprint import fingerprint
+
+BIGUPD = "bigupd a [* i := 2.0 * a!i | i <- [1..n] *]"
+ACCUM = """
+letrec h = accumArray (\\x y -> x + y) 0 (0,3)
+  [ mod i 4 := i | i <- [1..10] ]
+in h
+"""
+
+
+def _legacy(strategy, src, old, **kwargs):
+    """Call the deprecated per-mode wrapper for ``strategy``."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        if strategy == "array":
+            return repro.compile_array(src, **kwargs)
+        if strategy == "inplace":
+            return repro.compile_array_inplace(src, old, **kwargs)
+        if strategy == "bigupd":
+            return repro.compile_bigupd(src, **kwargs)
+        return repro.compile_accum_array(src, **kwargs)
+
+
+#: strategy -> (source, old_array, params)
+MATRIX = {
+    "array": (kernels.WAVEFRONT, None, {"n": 6}),
+    "inplace": (kernels.JACOBI, "u", {"m": 8}),
+    "bigupd": (BIGUPD, None, {"n": 5}),
+    "accum": (ACCUM, None, {}),
+}
+
+
+class TestDispatchMatrix:
+    @pytest.mark.parametrize("strategy", sorted(MATRIX))
+    def test_facade_matches_legacy(self, strategy):
+        src, old, params = MATRIX[strategy]
+        new = repro.compile(src, strategy=strategy, old_array=old,
+                            params=params)
+        legacy = _legacy(strategy, src, old, params=params)
+        assert new.source == legacy.source
+        assert new.report.summary() == legacy.report.summary()
+
+    @pytest.mark.parametrize("strategy", sorted(MATRIX))
+    def test_facade_matches_legacy_with_options(self, strategy):
+        src, old, params = MATRIX[strategy]
+        options = CodegenOptions(bounds_checks=True)
+        new = repro.compile(src, strategy=strategy, old_array=old,
+                            params=params, options=options)
+        legacy = _legacy(strategy, src, old, params=params,
+                         options=options)
+        assert new.source == legacy.source
+
+    @pytest.mark.parametrize("strategy", sorted(MATRIX))
+    def test_fingerprint_strategy_matches_mode(self, strategy):
+        src, old, params = MATRIX[strategy]
+        mode = {"array": "monolithic"}.get(strategy, strategy)
+        assert fingerprint(
+            src, params=params, strategy=strategy, old_array=old
+        ) == fingerprint(src, params=params, mode=mode, old_array=old)
+
+    def test_auto_fingerprint_matches_resolved(self):
+        assert fingerprint(BIGUPD, params={"n": 5}, strategy="auto") \
+            == fingerprint(BIGUPD, params={"n": 5}, strategy="bigupd")
+
+    def test_strategies_cover_detection(self):
+        assert set(STRATEGIES) == {"auto", "array", "inplace",
+                                   "bigupd", "accum"}
+
+
+class TestAutoDetection:
+    def test_detects_array(self):
+        assert detect_strategy(kernels.SQUARES) == "array"
+
+    def test_detects_bigupd(self):
+        assert detect_strategy(BIGUPD) == "bigupd"
+
+    def test_detects_accum(self):
+        assert detect_strategy(ACCUM) == "accum"
+
+    def test_auto_compiles_each_shape(self):
+        assert repro.compile(kernels.SQUARES, params={"n": 4})(
+            {"n": 4}).to_list() == [1, 4, 9, 16]
+        assert repro.compile(ACCUM).report.strategy == "accumulate"
+        up = repro.compile(BIGUPD, params={"n": 3})
+        arr = FlatArray.from_list((1, 3), [1.0, 2.0, 3.0])
+        up({"a": arr, "n": 3})
+        assert arr.to_list() == [2.0, 4.0, 6.0]
+
+    def test_old_array_forces_inplace(self):
+        compiled = repro.compile(kernels.JACOBI, old_array="u",
+                                 params={"m": 8})
+        assert compiled.report.strategy == "inplace"
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(CompileError, match="unknown strategy"):
+            repro.compile(kernels.SQUARES, strategy="fortran")
+
+    def test_inplace_needs_old_array(self):
+        with pytest.raises(CompileError, match="old_array"):
+            repro.compile(kernels.JACOBI, strategy="inplace")
+
+    def test_old_array_only_for_inplace(self):
+        with pytest.raises(CompileError, match="old_array"):
+            repro.compile(kernels.SQUARES, strategy="array",
+                          old_array="a")
+
+    def test_force_strategy_only_monolithic(self):
+        with pytest.raises(CompileError, match="force_strategy"):
+            repro.compile(BIGUPD, strategy="bigupd",
+                          force_strategy="thunked")
+
+    def test_parallel_rejected_for_inplace(self):
+        with pytest.raises(CompileError, match="parallel"):
+            repro.compile(kernels.JACOBI, strategy="inplace",
+                          old_array="u", params={"m": 8},
+                          options=CodegenOptions(parallel=True))
+
+    def test_parallel_rejected_for_bigupd(self):
+        with pytest.raises(CompileError, match="parallel"):
+            repro.compile(BIGUPD, params={"n": 4},
+                          options=CodegenOptions(parallel=True))
+
+
+class TestDeprecatedWrappers:
+    def test_compile_array_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            repro.compile_array(kernels.SQUARES, params={"n": 3})
+
+    def test_compile_array_inplace_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            repro.compile_array_inplace(kernels.JACOBI, "u",
+                                        params={"m": 8})
+
+    def test_compile_bigupd_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            repro.compile_bigupd(BIGUPD, params={"n": 3})
+
+    def test_compile_accum_array_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.compile"):
+            repro.compile_accum_array(ACCUM)
+
+
+class TestReportStability:
+    """Satellite fix: summary() has the same line kinds everywhere."""
+
+    def _kinds(self, summary):
+        kinds = []
+        for line in summary.splitlines():
+            kind = line.split(":", 1)[0]
+            if kind.startswith("loop "):
+                kind = "loop"
+            if kind.startswith("edge"):
+                kind = "edge"
+            if kind not in kinds:
+                kinds.append(kind)
+        return kinds
+
+    def test_every_strategy_reports_analysis_sections(self):
+        for strategy, (src, old, params) in MATRIX.items():
+            report = repro.compile(src, strategy=strategy,
+                                   old_array=old, params=params).report
+            summary = report.summary()
+            assert summary.startswith("strategy: "), strategy
+            assert "collisions: " in summary, strategy
+            assert "empties: " in summary, strategy
+            # Normalized reports: every strategy computes the
+            # vectorizability and parallelism analyses.
+            assert report.vectorizable is not None, strategy
+            assert report.parallelism is not None, strategy
+
+    def test_section_order_is_stable(self):
+        orders = {}
+        for strategy, (src, old, params) in MATRIX.items():
+            summary = repro.compile(src, strategy=strategy,
+                                    old_array=old,
+                                    params=params).report.summary()
+            orders[strategy] = self._kinds(summary)
+        reference = [
+            "strategy", "collisions", "empties", "checks compiled",
+            "edge", "loop", "vectorizable inner loops", "parallel",
+            "note",
+        ]
+        for strategy, kinds in orders.items():
+            positions = [reference.index(k) for k in kinds
+                         if k in reference]
+            assert positions == sorted(positions), (strategy, kinds)
