@@ -30,6 +30,18 @@ monolithic (``"array"``), in-place (``"inplace"`` + ``old_array=``),
 ``"bigupd"``, or accumulated (``"accum"``) compilation — or ``"auto"``
 (the default) to detect it from the source.  The per-mode functions
 (``compile_array`` and friends) are deprecated wrappers.
+
+Multi-binding *programs* (``;``-separated top-level bindings) compile
+as a whole through ``repro.compile_program`` — inter-binding liveness
+threads §9 storage reuse across statements, and ``iterate``/
+``converge`` bindings get a convergence-loop driver::
+
+    prog = repro.compile_program(jacobi_src, params={"m": 128})
+    u = prog({"m": 128, "tol": 1e-8})
+    print(prog.report.summary())      # topo order, reuse edges, ...
+
+``repro.compile`` auto-dispatches to ``compile_program`` when handed
+program-shaped source.
 """
 
 from repro.codegen import CodegenOptions, FlatArray
@@ -46,10 +58,17 @@ from repro.core.pipeline import (
 )
 from repro.interp import evaluate, run_program
 from repro.lang import parse_expr, parse_program, pretty
+from repro.program import (
+    CompiledProgram,
+    ProgramError,
+    ProgramReport,
+    compile_program,
+)
 from repro.service import (
     CompileRequest,
     CompileService,
     fingerprint,
+    fingerprint_program,
 )
 from repro.runtime import (
     Bounds,
@@ -71,8 +90,11 @@ __all__ = [
     "CompileError",
     "CompileRequest",
     "CompileService",
+    "CompiledProgram",
     "FlatArray",
     "NonStrictArray",
+    "ProgramError",
+    "ProgramReport",
     "Report",
     "StrictArray",
     "accum_array",
@@ -83,9 +105,11 @@ __all__ = [
     "compile_array",
     "compile_array_inplace",
     "compile_bigupd",
+    "compile_program",
     "detect_strategy",
     "evaluate",
     "fingerprint",
+    "fingerprint_program",
     "force_elements",
     "letrec_star",
     "parse_expr",

@@ -24,6 +24,15 @@ directory ``~/.cache/repro``).  Examples::
     python -m repro serve-stats
     echo 'letrec* a = array (1,5) [ i := i*i | i <- [1..5] ] in a' \\
         | python -m repro run -
+
+Multi-binding *programs* (``;``-separated top-level bindings) are
+detected automatically and compiled whole (``repro.compile_program``):
+``analyze``/``compile``/``run`` print the program report — topo order,
+cross-binding reuse edges, convergence-driver decisions.  ``--iterate
+tol=1e-8`` or ``--iterate steps=50`` overrides the program's own
+iteration control::
+
+    python -m repro run jacobi.hs -p m=256 --iterate tol=1e-8
 """
 
 from __future__ import annotations
@@ -70,6 +79,27 @@ def _parse_params(items):
     return params
 
 
+def _parse_iterate(item):
+    """``--iterate tol=1e-8`` / ``--iterate steps=50`` -> overrides."""
+    if item is None:
+        return None, None
+    name, eq, value = item.partition("=")
+    if not eq or name not in ("tol", "steps"):
+        raise SystemExit(
+            f"bad --iterate {item!r}; use tol=FLOAT (converge until "
+            "the largest change is at most FLOAT) or steps=INT (run "
+            "exactly INT sweeps)"
+        )
+    try:
+        if name == "steps":
+            return int(value), None
+        return None, float(value)
+    except ValueError:
+        raise SystemExit(
+            f"bad --iterate {item!r}: {value!r} is not a number"
+        ) from None
+
+
 def _cache_dir(arg):
     if arg is None:
         return None
@@ -108,7 +138,10 @@ def _serve_stats(cache_dir) -> int:
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-            strategy = payload["report"].strategy or "analysis"
+            if "program" in payload:
+                strategy = "program"
+            else:
+                strategy = payload["report"].strategy or "analysis"
         except Exception:
             unreadable += 1
             continue
@@ -119,6 +152,72 @@ def _serve_stats(cache_dir) -> int:
         print(f"  unreadable entries: {unreadable} "
               "(treated as misses at lookup)")
     return 0
+
+
+def _program_command(args, source: str, params) -> int:
+    """``analyze``/``compile``/``run``/``oracle`` on a whole program."""
+    from repro.program import ProgramError
+
+    if args.inplace:
+        raise SystemExit(
+            "--inplace applies to single definitions; whole programs "
+            "thread storage reuse automatically (see the report's "
+            "reuse edges)"
+        )
+    if args.strategy != "auto":
+        raise SystemExit(
+            "--strategy applies to single definitions; whole programs "
+            "pick a strategy per binding"
+        )
+    steps, tol = _parse_iterate(args.iterate)
+
+    if args.command == "oracle":
+        result = repro.run_program(source, bindings=params, deep=False)
+        _print_result(result)
+        return 0
+
+    try:
+        options = CodegenOptions.from_flags(
+            vectorize=args.vectorize,
+            parallel=args.parallel,
+            parallel_threads=args.parallel_threads,
+        )
+    except CodegenError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        program = repro.compile_program(
+            source, params=params, options=options,
+            cache=_cache_dir(args.cache),
+        )
+    except CompileError as exc:
+        raise SystemExit(f"compile error: {exc}") from exc
+
+    if args.command == "analyze":
+        print(program.report.summary())
+        return 0
+    if args.command == "compile":
+        print(f"# {program.report.summary()}".replace("\n", "\n# "))
+        for name, source_text in program.sources().items():
+            print(f"\n# --- binding {name} ---")
+            print(source_text)
+        return 0
+
+    # run
+    try:
+        result = program(params, steps=steps, tol=tol)
+    except ProgramError as exc:
+        raise SystemExit(f"program error: {exc}") from exc
+    print(program.report.summary())
+    print()
+    _print_result(result)
+    return 0
+
+
+def _print_result(result):
+    if hasattr(result, "bounds"):
+        _print_array(result)
+    else:
+        print(repr(result))
 
 
 def main(argv=None) -> int:
@@ -156,6 +255,9 @@ def main(argv=None) -> int:
                         metavar="DIR",
                         help="serve compile/run through the persistent "
                              "compile cache (default ~/.cache/repro)")
+    parser.add_argument("--iterate", metavar="KEY=VALUE",
+                        help="override a program's iteration control: "
+                             "tol=FLOAT or steps=INT (programs only)")
     args = parser.parse_args(argv)
 
     if args.command == "serve-stats":
@@ -166,6 +268,16 @@ def main(argv=None) -> int:
 
     source = _read_source(args.file)
     params = _parse_params(args.param)
+
+    from repro.program import as_program
+
+    if as_program(source) is not None:
+        return _program_command(args, source, params)
+    if args.iterate:
+        raise SystemExit(
+            "--iterate only applies to multi-binding programs (this "
+            "source is a single definition)"
+        )
 
     if args.command == "analyze":
         report = analyze(source, params)

@@ -53,6 +53,53 @@ class CheckStats:
 CHECK_STATS = CheckStats()
 
 
+class AllocStats:
+    """Counters of result-buffer allocations made by generated code.
+
+    The program driver (``repro.program``) elides allocations by
+    threading dead buffers back into compiled steps; these counters are
+    how benchmarks (E19) price what that elision buys.
+    """
+
+    __slots__ = ("arrays_allocated", "cells_allocated")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        """Zero all counters."""
+        self.arrays_allocated = 0
+        self.cells_allocated = 0
+
+    def snapshot(self):
+        """The counters as a dict."""
+        return {
+            "arrays_allocated": self.arrays_allocated,
+            "cells_allocated": self.cells_allocated,
+        }
+
+    def __repr__(self):
+        return (
+            f"AllocStats(arrays={self.arrays_allocated}, "
+            f"cells={self.cells_allocated})"
+        )
+
+
+#: Global allocation statistics; benchmarks reset before a run.
+ALLOC_STATS = AllocStats()
+
+
+def alloc_buffer(size: int) -> None:
+    """Record one fresh result-buffer allocation of ``size`` cells.
+
+    Generated code calls this exactly when it is about to allocate a
+    new output buffer (a reused buffer is not counted); the program
+    driver calls it for the copies it makes itself.
+    """
+    ALLOC_STATS.arrays_allocated += 1
+    ALLOC_STATS.cells_allocated += size
+
+
 class FlatArray:
     """An evaluated array: bounds plus a row-major cell list.
 

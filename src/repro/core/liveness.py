@@ -1,0 +1,126 @@
+"""Inter-binding dependence and liveness for whole programs.
+
+The program compiler (:mod:`repro.program`) views a ``parse_program``
+binding list as a dataflow graph: binding ``b`` depends on binding
+``a`` when ``a``'s name occurs free in ``b``'s right-hand side.  This
+module computes that graph, a deterministic topological schedule (with
+a loud cycle diagnostic naming the members), and the liveness facts —
+*the last binding that reads each name* — that extend the paper's §9
+in-place reasoning across statements: a producer array that is dead
+after its last consumer may donate its storage instead of forcing a
+fresh allocation.
+
+Self-references are excluded from the graph: a binding such as
+``x = array (1,n) (... x!(i-1) ...)`` is an ordinary recursive array
+(a *flow* dependence handled inside one compilation unit, §5), not an
+inter-binding cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.lang import ast
+
+
+class ProgramCycleError(Exception):
+    """The binding graph has a cycle (mutual recursion across bindings).
+
+    ``cycle`` holds the member names in dependence order; the message
+    names them so the diagnostic is actionable at the surface level.
+    """
+
+    def __init__(self, cycle: List[str]):
+        self.cycle = list(cycle)
+        loop = " -> ".join(self.cycle + self.cycle[:1])
+        super().__init__(
+            f"program bindings form a cycle: {loop}; mutual recursion "
+            "across top-level bindings has no evaluation order — merge "
+            "the members into one recursive array definition or break "
+            "the cycle"
+        )
+
+
+def binding_reads(bind: ast.Binding, defined: Set[str]) -> List[str]:
+    """Program-defined names read by ``bind`` (self-reads excluded)."""
+    free = ast.free_vars(bind.expr)
+    return sorted((free - {bind.name}) & set(defined))
+
+
+def dependence_graph(
+    binds: Sequence[ast.Binding],
+) -> Dict[str, List[str]]:
+    """``name -> sorted list of program-defined names it reads``."""
+    defined = {bind.name for bind in binds}
+    return {bind.name: binding_reads(bind, defined) for bind in binds}
+
+
+def topo_order(
+    binds: Sequence[ast.Binding],
+    graph: Dict[str, List[str]],
+) -> List[str]:
+    """Topological schedule, stable by source position.
+
+    Among ready bindings the earliest in the source goes first, so the
+    order is deterministic and as close to the written program as the
+    dependences allow.  Raises :class:`ProgramCycleError` when no
+    schedule exists.
+    """
+    position = {bind.name: index for index, bind in enumerate(binds)}
+    remaining = set(position)
+    order: List[str] = []
+    while remaining:
+        ready = [
+            name for name in sorted(remaining, key=position.__getitem__)
+            if all(dep not in remaining for dep in graph[name])
+        ]
+        if not ready:
+            raise ProgramCycleError(_find_cycle(graph, remaining, position))
+        order.append(ready[0])
+        remaining.discard(ready[0])
+    return order
+
+
+def _find_cycle(graph, remaining: Set[str], position) -> List[str]:
+    """One actual cycle among the unschedulable bindings."""
+    start = min(remaining, key=position.__getitem__)
+    trail: List[str] = []
+    seen: Dict[str, int] = {}
+    node = start
+    while node not in seen:
+        seen[node] = len(trail)
+        trail.append(node)
+        node = next(
+            dep for dep in graph[node] if dep in remaining
+        )  # every remaining node has an unresolved dep, or it was ready
+    return trail[seen[node]:]
+
+
+def last_uses(
+    order: Sequence[str],
+    graph: Dict[str, List[str]],
+) -> Dict[str, str]:
+    """``name -> the last binding (in ``order``) that reads it``.
+
+    Names never read by another binding are absent.  A name's storage
+    may be donated at its last use — provided it is not (an alias of)
+    the program result; the program compiler layers that check on top.
+    """
+    last: Dict[str, str] = {}
+    for name in order:
+        for dep in graph[name]:
+            last[dep] = name
+    return last
+
+
+def reachable(graph: Dict[str, List[str]], root: str) -> Set[str]:
+    """Bindings the program result transitively reads (plus itself)."""
+    seen: Set[str] = set()
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in graph:
+            continue
+        seen.add(name)
+        stack.extend(graph[name])
+    return seen

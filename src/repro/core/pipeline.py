@@ -601,6 +601,24 @@ def compile(
             f"unknown strategy {strategy!r}; expected one of "
             + ", ".join(repr(s) for s in STRATEGIES)
         )
+    if isinstance(src, str):
+        from repro.program.compile import as_program
+
+        program = as_program(src)
+        if program is not None:
+            if (strategy == "auto" and old_array is None
+                    and force_strategy is None):
+                from repro.program.compile import compile_program
+
+                return compile_program(src, params=params,
+                                       options=options, cache=cache)
+            raise CompileError(
+                "source is a multi-binding program (bindings "
+                + ", ".join(repr(b.name) for b in program)
+                + "); strategy=/old_array=/force_strategy= apply to "
+                "single definitions — use repro.compile_program(src, "
+                "params=..., options=...) for whole programs"
+            )
     resolved = strategy
     if resolved == "auto":
         resolved = "inplace" if old_array is not None \

@@ -148,6 +148,8 @@ class Interpreter:
             "accumArray": Builtin("accumArray", 4, self._prim_accum_array),
             "bigupd": Builtin("bigupd", 2, self._prim_bigupd),
             "forceElements": unary("forceElements", self._prim_force_elements),
+            "iterate": Builtin("iterate", 3, self._prim_iterate),
+            "converge": Builtin("converge", 3, self._prim_converge),
             "bounds": unary("bounds", lambda a: (a.bounds.low, a.bounds.high)),
             "flatmap": Builtin("flatmap", 2, self._prim_flatmap),
             "foldl": Builtin("foldl", 3, self._prim_foldl),
@@ -205,6 +207,56 @@ class Interpreter:
                 return arr
             raise InterpError(f"forceElements on non-array {arr!r}")
         return force_elements(arr)
+
+    def _settle(self, value):
+        """Force an array's elements between sweeps.
+
+        Keeps ``iterate``/``converge`` chains from stacking unbounded
+        thunk towers; forcing is semantics-neutral (the values are
+        demanded anyway), so the compiled drivers stay bit-identical.
+        """
+        if isinstance(value, NonStrictArray):
+            return force_elements(value)
+        return value
+
+    def _prim_iterate(self, f, x, k):
+        """``iterate f x k``: apply ``f`` to ``x``, ``k`` times."""
+        fn = force(f)
+        count = force(k)
+        if not isinstance(count, int) or count < 0:
+            raise InterpError(
+                f"iterate needs a non-negative integer step count, "
+                f"got {count!r}"
+            )
+        current = self._settle(force(x))
+        for _ in range(count):
+            current = self._settle(force(self.apply(fn, current)))
+        return current
+
+    def _prim_converge(self, f, x, tol):
+        """``converge f x tol``: apply ``f`` until the largest
+        element-wise change is at most ``tol``.
+
+        The loop shape (compare *after* each application, return the
+        new array) is shared verbatim with the compiled program driver
+        — see :mod:`repro.program.iterate` — so the two agree on both
+        the values and the sweep count.
+        """
+        from repro.program.iterate import CONVERGE_CAP, max_abs_diff
+
+        fn = force(f)
+        bound = force(tol)
+        current = self._settle(force(x))
+        for _ in range(CONVERGE_CAP):
+            stepped = self._settle(force(self.apply(fn, current)))
+            if max_abs_diff(stepped.to_list(), current.to_list()) <= bound:
+                return stepped
+            current = stepped
+        raise InterpError(
+            f"converge: no fixpoint within {CONVERGE_CAP} sweeps "
+            f"(tol={bound!r}); the iteration is diverging or the "
+            "tolerance is unreachable"
+        )
 
     def _prim_flatmap(self, f, xs):
         fn = force(f)

@@ -232,6 +232,112 @@ array (1,n)
 """
 
 # ----------------------------------------------------------------------
+# Whole-program kernels (multi-binding; for repro.compile_program and
+# the lazy oracle repro.run_program).
+
+#: A three-stage pipeline: each stage's input dies at its last read, so
+#: the program compiler threads §9 storage reuse across bindings — the
+#: whole chain runs in one buffer (expected: 2 reuse edges, 1
+#: allocation instead of 3).
+PROGRAM_PIPELINE = """
+b = array (1,n) [ i := 1.0 * i * i | i <- [1..n] ];
+c = array (1,n) [ i := b!i + 0.5 | i <- [1..n] ];
+x = letrec x = array (1,n)
+      ([ 1 := c!1 ] ++
+       [ i := c!i - 0.25 * x!(i-1) | i <- [2..n] ])
+    in x;
+main = x
+"""
+
+#: Jacobi relaxation to convergence: boundary held at i+j (harmonic,
+#: so the interior relaxes toward it), interior seeded 0.  The step is
+#: a full-mesh monolithic sweep (borders copied through), so the
+#: driver double-buffers and recycles dead buffers via the '.reuse'
+#: slot — two allocations for the whole run.
+PROGRAM_JACOBI = """
+u0 = array ((1,1),(m,m))
+  [ (i,j) := if i == 1 || i == m || j == 1 || j == m
+             then 1.0 * (i + j) else 0.0
+  | i <- [1..m], j <- [1..m] ];
+step u = letrec a = array ((1,1),(m,m))
+   ([ (1,j) := u!(1,j) | j <- [1..m] ] ++
+    [ (m,j) := u!(m,j) | j <- [1..m] ] ++
+    [ (i,1) := u!(i,1) | i <- [2..m-1] ] ++
+    [ (i,m) := u!(i,m) | i <- [2..m-1] ] ++
+    [ (i,j) := 0.25 * (u!(i-1,j) + u!(i+1,j) + u!(i,j-1) + u!(i,j+1))
+      | i <- [2..m-1], j <- [2..m-1] ])
+  in a;
+main = converge step u0 tol
+"""
+
+#: Fixed-sweep-count Jacobi (same step; ``iterate`` instead of
+#: ``converge``).
+PROGRAM_JACOBI_STEPS = """
+u0 = array ((1,1),(m,m))
+  [ (i,j) := if i == 1 || i == m || j == 1 || j == m
+             then 1.0 * (i + j) else 0.0
+  | i <- [1..m], j <- [1..m] ];
+step u = letrec a = array ((1,1),(m,m))
+   ([ (1,j) := u!(1,j) | j <- [1..m] ] ++
+    [ (m,j) := u!(m,j) | j <- [1..m] ] ++
+    [ (i,1) := u!(i,1) | i <- [2..m-1] ] ++
+    [ (i,m) := u!(i,m) | i <- [2..m-1] ] ++
+    [ (i,j) := 0.25 * (u!(i-1,j) + u!(i+1,j) + u!(i,j-1) + u!(i,j+1))
+      | i <- [2..m-1], j <- [2..m-1] ])
+  in a;
+main = iterate step u0 k
+"""
+
+#: SOR to a fixed sweep count: north/west reads see *new* values (flow
+#: deps into the letrec name), south/east read the previous sweep —
+#: the §9 plan is a clean split, so the driver runs true in-place
+#: sweeps in the seed's buffer (zero steady-state allocations).
+PROGRAM_SOR = """
+u0 = array ((1,1),(m,m))
+  [ (i,j) := if i == 1 || i == m || j == 1 || j == m
+             then 1.0 * (i + j) else 0.0
+  | i <- [1..m], j <- [1..m] ];
+sweep u = letrec a = array ((1,1),(m,m))
+   ([ (1,j) := u!(1,j) | j <- [1..m] ] ++
+    [ (m,j) := u!(m,j) | j <- [1..m] ] ++
+    [ (i,1) := u!(i,1) | i <- [2..m-1] ] ++
+    [ (i,m) := u!(i,m) | i <- [2..m-1] ] ++
+    [ (i,j) := u!(i,j) + omega *
+         (0.25 * (a!(i-1,j) + a!(i,j-1) + u!(i+1,j) + u!(i,j+1))
+          - u!(i,j))
+      | i <- [2..m-1], j <- [2..m-1] ])
+  in a;
+main = iterate sweep u0 k
+"""
+
+#: ``bigupd`` across bindings: the row swap's input array is
+#: program-allocated and dead after the update, so the defensive copy
+#: is elided and the swap mutates a0's storage directly.
+PROGRAM_SWAP = """
+a0 = array ((1,1),(m,n)) [ (i,j) := 1.0 * (10*i + j)
+                         | i <- [1..m], j <- [1..n] ];
+a1 = bigupd a0 [* [ (r,j) := a0!(s,j), (s,j) := a0!(r,j) ]
+              | j <- [1..n] *];
+main = a1
+"""
+
+#: Registry of whole-program kernels: name -> {source, params}.
+#: ``params`` are defaults small enough for differential tests.
+PROGRAM_CATALOG: Dict[str, Dict] = {
+    "program_pipeline": {"source": PROGRAM_PIPELINE,
+                         "params": {"n": 24}},
+    "program_jacobi": {"source": PROGRAM_JACOBI,
+                       "params": {"m": 8, "tol": 1e-3}},
+    "program_jacobi_steps": {"source": PROGRAM_JACOBI_STEPS,
+                             "params": {"m": 8, "k": 5}},
+    "program_sor": {"source": PROGRAM_SOR,
+                    "params": {"m": 8, "k": 5, "omega": 1.25}},
+    "program_swap": {"source": PROGRAM_SWAP,
+                     "params": {"m": 5, "n": 7, "r": 2, "s": 4}},
+}
+
+
+# ----------------------------------------------------------------------
 # Reference (hand-coded "Fortran-style") implementations.
 
 

@@ -99,8 +99,15 @@ class Parser:
         return expr
 
     def parse_program(self) -> List[ast.Binding]:
-        """Parse a ``;``-separated sequence of top-level bindings."""
+        """Parse a ``;``-separated sequence of top-level bindings.
+
+        A single trailing ``;`` after the last binding is accepted (the
+        natural way to write one binding per line ends every line with
+        a separator).
+        """
         binds = self.bindings(stoppers=())
+        if self.peek().is_op(";"):
+            self.next()
         if self.peek().kind != "eof":
             self.error("unexpected input after program")
         return binds

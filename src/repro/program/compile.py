@@ -1,0 +1,565 @@
+"""Whole-program compilation: binding list -> executable pipeline.
+
+The single-definition pipeline (:func:`repro.core.pipeline.compile`)
+treats one array comprehension as the compilation unit.  This module
+widens the unit to a full ``parse_program`` binding list:
+
+1. the inter-binding dependence graph is scheduled topologically
+   (:mod:`repro.core.liveness`), with a loud cycle diagnostic;
+2. each binding compiles with the strategy its shape calls for, and
+   liveness threads ``old_array=`` automatically when a producer array
+   is provably dead after its last consumer — the paper's §9 in-place
+   reasoning extended across statements;
+3. ``iterate``/``converge`` bindings compile their step function once
+   and drive it with true in-place sweeps (Gauss-Seidel/SOR) or
+   double-buffer swapping (Jacobi);
+4. every decision — schedule, reuse edge, elided copy, fallback —
+   lands in the :class:`~repro.program.report.ProgramReport`.
+
+The correctness bar is the lazy oracle: a compiled program must be
+bit-identical to :func:`repro.interp.run_program` on the same source.
+That is why storage reuse is gated on *proofs* (liveness, static
+bounds equality, totality of the comprehension) and why every
+rejection is recorded instead of silently degrading.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.comprehension.build import BuildError, find_array_comp
+from repro.core import pipeline
+from repro.core.liveness import (
+    ProgramCycleError,
+    dependence_graph,
+    last_uses,
+    reachable,
+    topo_order,
+)
+from repro.core.pipeline import CompileError
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_program
+from repro.program.iterate import (
+    IterateShapeError,
+    IterateSpec,
+    find_iterate,
+)
+from repro.program.report import BindingInfo, ProgramReport, ReuseEdge
+from repro.program.run import CompiledProgram, IteratePlan, ProgramStep
+
+
+def as_program(src) -> Optional[List[ast.Binding]]:
+    """Recognize multi-binding program source.
+
+    Returns the binding list when ``src`` is a string that fails to
+    parse as a single expression but parses as a ``;``-separated
+    binding sequence; ``None`` otherwise.  This is the facade's
+    dispatch test: expressions keep going through the single-definition
+    pipeline, programs route to :func:`compile_program`.
+    """
+    if not isinstance(src, str):
+        return None
+    try:
+        parse_expr(src)
+        return None
+    except ParseError:
+        pass
+    try:
+        binds = parse_program(src)
+    except ParseError:
+        return None
+    return binds or None
+
+
+def compile_program(
+    src,
+    *,
+    params: Optional[Dict[str, int]] = None,
+    options=None,
+    cache=None,
+    result: Optional[str] = None,
+) -> CompiledProgram:
+    """Compile a whole program (string or parsed binding list).
+
+    Parameters
+    ----------
+    params:
+        Size parameters, folded into every per-binding compilation and
+        stored on the result (the runtime environment inherits them).
+    options:
+        :class:`~repro.codegen.emit.CodegenOptions` applied to every
+        compiled binding.
+    cache:
+        Route through the compile service (``True``, a directory path,
+        or a :class:`~repro.service.service.CompileService`).
+    result:
+        The binding whose value the program returns; defaults to
+        ``main`` when defined, else the last binding.
+    """
+    if cache is not None and cache is not False:
+        from repro.service.service import resolve_cache
+
+        return resolve_cache(cache).compile_program(
+            src, params=params, options=options, result=result
+        )
+
+    started = perf_counter()
+    binds = parse_program(src) if isinstance(src, str) else list(src)
+    if not binds:
+        raise CompileError("empty program: no bindings to compile")
+    _reject_duplicates(binds)
+    by_name = {bind.name: bind for bind in binds}
+    if result is None:
+        result = "main" if "main" in by_name else binds[-1].name
+    elif result not in by_name:
+        raise CompileError(
+            f"result binding {result!r} is not defined; the program "
+            "defines " + ", ".join(repr(b.name) for b in binds)
+        )
+
+    kinds, extras = _classify_all(binds)
+    graph = dependence_graph(binds)
+    try:
+        order = topo_order(binds, graph)
+    except ProgramCycleError as exc:
+        raise CompileError(str(exc)) from exc
+
+    live = reachable(graph, result)
+    schedule = [name for name in order if name in live]
+    last = last_uses(schedule, graph)
+    protected = _protected_names(result, schedule, kinds, extras, by_name)
+
+    report = ProgramReport(order=list(schedule), result=result)
+    for name in order:
+        if name not in live:
+            report.bindings.append(BindingInfo(
+                name=name, kind="skipped",
+                detail="dead code: never reaches the result (the lazy "
+                       "oracle never forces it either)",
+            ))
+            report.notes.append(
+                f"dead code: binding {name!r} never reaches result "
+                f"{result!r} — skipped"
+            )
+
+    state = _CompileState(
+        by_name=by_name, kinds=kinds, extras=extras, graph=graph,
+        last=last, protected=protected, params=params, options=options,
+        report=report,
+    )
+    steps = [state.compile_binding(name) for name in schedule]
+    report.timings["total"] = perf_counter() - started
+    return CompiledProgram(steps, report, params)
+
+
+# ----------------------------------------------------------------------
+# Binding classification.
+
+
+def _reject_duplicates(binds: Sequence[ast.Binding]) -> None:
+    names = [bind.name for bind in binds]
+    dupes = sorted({name for name in names if names.count(name) > 1})
+    if dupes:
+        raise CompileError(
+            "duplicate binding(s) "
+            + ", ".join(repr(d) for d in dupes)
+            + ": each top-level name may be defined once"
+        )
+
+
+def _classify(bind: ast.Binding):
+    """``(kind, extra)`` for one binding.
+
+    ``extra`` carries the :class:`IterateSpec` for iterate bindings,
+    the alias target for aliases, and the updated array's name for
+    ``bigupd`` bindings.
+    """
+    expr = bind.expr
+    try:
+        spec = find_iterate(expr)
+    except IterateShapeError as exc:
+        raise CompileError(f"binding {bind.name!r}: {exc}") from exc
+    if spec is not None:
+        return "iterate", spec
+    if isinstance(expr, ast.Lam):
+        return "function", None
+    if isinstance(expr, ast.Var):
+        return "alias", expr.name
+    try:
+        old_name, _ = pipeline.find_bigupd(expr)
+        return "bigupd", old_name
+    except CompileError:
+        pass
+    from repro.core.accum import find_accum_array
+
+    try:
+        find_accum_array(expr)
+        return "accum", None
+    except ValueError:
+        pass
+    try:
+        find_array_comp(expr)
+        return "array", None
+    except BuildError:
+        return "scalar", None
+
+
+def _classify_all(binds: Sequence[ast.Binding]):
+    kinds: Dict[str, str] = {}
+    extras: Dict[str, object] = {}
+    for bind in binds:
+        kinds[bind.name], extras[bind.name] = _classify(bind)
+    return kinds, extras
+
+
+def _protected_names(result, schedule, kinds, extras, by_name) -> Set[str]:
+    """Names whose storage must survive: the result (through aliases)
+    plus both ends of every live alias (they share one buffer)."""
+    protected: Set[str] = set()
+    node = result
+    while node not in protected:
+        protected.add(node)
+        if kinds.get(node) == "alias" and extras[node] in by_name:
+            node = extras[node]
+        else:
+            break
+    for name in schedule:
+        if kinds.get(name) == "alias":
+            protected.add(name)
+            protected.add(extras[name])
+    return protected
+
+
+def _wrap(bind: ast.Binding) -> ast.Node:
+    """Array-shaped binding -> compilable expression.
+
+    A bare ``array b e`` is wrapped as ``letrec* name = array b e in
+    name`` so reads of the binding's own name classify as *flow*
+    dependences (a recursive array), not external inputs.  An
+    expression that is already a ``let`` is used as-is — wrapping it
+    again would shadow the inner comprehension's name and misread its
+    self-references.
+    """
+    expr = bind.expr
+    if isinstance(expr, ast.Let):
+        return expr
+    inner = ast.Binding(name=bind.name, params=[], expr=expr,
+                        pos=expr.pos)
+    return ast.Let(kind="letrec*", binds=[inner],
+                   body=ast.Var(bind.name, pos=expr.pos), pos=expr.pos)
+
+
+# ----------------------------------------------------------------------
+# Per-binding compilation.
+
+
+class _CompileState:
+    """Mutable walk state: what has been produced/consumed so far."""
+
+    def __init__(self, *, by_name, kinds, extras, graph, last, protected,
+                 params, options, report: ProgramReport):
+        self.by_name = by_name
+        self.kinds = kinds
+        self.extras = extras
+        self.graph = graph
+        self.last = last
+        self.protected = protected
+        self.params = params
+        self.options = options
+        self.report = report
+        #: Program-allocated arrays eligible as storage donors, with
+        #: their static bounds (``None`` bounds disqualifies matching).
+        self.produced: Dict[str, object] = {}
+        #: Buffers already donated — a buffer is donated at most once.
+        self.consumed: Set[str] = set()
+
+    # -- helpers -------------------------------------------------------
+
+    def _info(self, **kwargs) -> BindingInfo:
+        info = BindingInfo(**kwargs)
+        self.report.bindings.append(info)
+        return info
+
+    def _dead_after(self, producer: str, consumer: str) -> bool:
+        return (
+            producer in self.produced
+            and self.last.get(producer) == consumer
+            and producer not in self.protected
+            and producer not in self.consumed
+        )
+
+    def _blocking_reason(self, producer: str, consumer: str) -> str:
+        if producer not in self.produced:
+            return f"{producer!r} is an external input, not program-allocated"
+        if producer in self.consumed:
+            return f"{producer!r}'s buffer was already donated"
+        if producer in self.protected:
+            return f"{producer!r} is (an alias of) the program result"
+        return (
+            f"{producer!r} is still read after {consumer!r} "
+            f"(last reader: {self.last.get(producer)!r})"
+        )
+
+    # -- dispatch ------------------------------------------------------
+
+    def compile_binding(self, name: str) -> ProgramStep:
+        kind = self.kinds[name]
+        bind = self.by_name[name]
+        if kind == "scalar":
+            self._info(name=name, kind="scalar",
+                       detail="evaluated by the reference interpreter")
+            return ProgramStep(name=name, kind="scalar", expr=bind.expr)
+        if kind == "function":
+            self._info(name=name, kind="function",
+                       detail="closure; callable from compiled bindings")
+            return ProgramStep(name=name, kind="function", expr=bind.expr)
+        if kind == "alias":
+            target = self.extras[name]
+            self._info(name=name, kind="alias",
+                       detail=f"alias of {target!r} (shares storage; "
+                              "both protected from reuse)")
+            return ProgramStep(name=name, kind="alias", target=target)
+        if kind == "iterate":
+            return self._compile_iterate(name, self.extras[name])
+        if kind == "bigupd":
+            return self._compile_bigupd(name, bind, self.extras[name])
+        if kind == "accum":
+            return self._compile_accum(name, bind)
+        return self._compile_array(name, bind)
+
+    # -- array bindings ------------------------------------------------
+
+    def _compile_array(self, name: str, bind: ast.Binding) -> ProgramStep:
+        wrapped = _wrap(bind)
+        mono = pipeline.compile(wrapped, strategy="array",
+                                params=self.params, options=self.options)
+        bounds = mono.report.comp.bounds
+        reused = self._try_reuse(name, wrapped, bounds)
+        self.produced[name] = bounds
+        if reused is not None:
+            donor, compiled = reused
+            cells = bounds.size() if bounds is not None else 0
+            self.report.reuse_edges.append(ReuseEdge(
+                consumer=name, producer=donor, via="inplace",
+                cells=cells,
+            ))
+            self.report.elided.append(
+                f"allocation of {cells} cells for {name!r} elided: "
+                f"writes into {donor!r}'s buffer"
+            )
+            self.consumed.add(donor)
+            self._info(name=name, kind="inplace",
+                       strategy=compiled.report.strategy, reuses=donor,
+                       report=compiled.report,
+                       detail=f"overwrites dead producer {donor!r} (§9 "
+                              "across statements)")
+            return ProgramStep(name=name, kind="inplace",
+                               compiled=compiled, old_array=donor)
+        self._info(name=name, kind="array",
+                   strategy=mono.report.strategy, report=mono.report,
+                   detail="monolithic array definition")
+        return ProgramStep(name=name, kind="array", compiled=mono)
+
+    def _try_reuse(self, name: str, wrapped, bounds):
+        """First dead producer whose storage this binding can take."""
+        fallbacks = self.report.fallbacks
+        for cand in self.graph[name]:
+            if self.kinds.get(cand) in ("function", "scalar", None):
+                continue
+            if not self._dead_after(cand, name):
+                if cand in self.produced and cand not in self.consumed:
+                    fallbacks.append(
+                        f"reuse {name}<-{cand} rejected: "
+                        + self._blocking_reason(cand, name)
+                    )
+                continue
+            if bounds is None or self.produced.get(cand) != bounds:
+                fallbacks.append(
+                    f"reuse {name}<-{cand} rejected: bounds not "
+                    f"statically equal ({self.produced.get(cand)!r} vs "
+                    f"{bounds!r})"
+                )
+                continue
+            try:
+                compiled = pipeline.compile(
+                    wrapped, strategy="inplace", old_array=cand,
+                    params=self.params, options=self.options,
+                )
+            except CompileError as exc:
+                fallbacks.append(
+                    f"reuse {name}<-{cand} rejected: in-place "
+                    f"compilation failed ({exc})"
+                )
+                continue
+            if compiled.report.strategy != "inplace":
+                plan = compiled.report.inplace_plan
+                why = plan.reason if plan is not None else "whole copy"
+                fallbacks.append(
+                    f"reuse {name}<-{cand} rejected: §9 plan fell back "
+                    f"to whole-copy ({why})"
+                )
+                continue
+            if compiled.report.empties.checks_needed:
+                fallbacks.append(
+                    f"reuse {name}<-{cand} rejected: comprehension not "
+                    "provably total — stale cells could survive in the "
+                    "reused buffer"
+                )
+                continue
+            return cand, compiled
+        return None
+
+    # -- bigupd / accum ------------------------------------------------
+
+    def _compile_bigupd(self, name, bind, old_name) -> ProgramStep:
+        compiled = pipeline.compile(bind.expr, strategy="bigupd",
+                                    params=self.params,
+                                    options=self.options)
+        dead = self._dead_after(old_name, name)
+        self.produced[name] = self.produced.get(old_name)
+        if dead:
+            old_bounds = self.produced.get(old_name)
+            cells = old_bounds.size() if old_bounds is not None else 0
+            self.report.reuse_edges.append(ReuseEdge(
+                consumer=name, producer=old_name, via="bigupd",
+                cells=cells,
+            ))
+            self.report.elided.append(
+                f"bigupd {name!r}: updates {old_name!r} in its own "
+                "storage (defensive copy elided)"
+            )
+            self.consumed.add(old_name)
+        else:
+            self.report.fallbacks.append(
+                f"bigupd {name!r}: copies {old_name!r} before updating "
+                "— " + self._blocking_reason(old_name, name)
+            )
+        self._info(name=name, kind="bigupd",
+                   strategy=compiled.report.strategy,
+                   reuses=old_name if dead else None,
+                   report=compiled.report,
+                   detail=("in place into " if dead else
+                           "on a private copy of ") + repr(old_name))
+        return ProgramStep(name=name, kind="bigupd", compiled=compiled,
+                           old_array=old_name, copy_old=not dead)
+
+    def _compile_accum(self, name, bind) -> ProgramStep:
+        compiled = pipeline.compile(bind.expr, strategy="accum",
+                                    params=self.params,
+                                    options=self.options)
+        self.produced[name] = compiled.report.comp.bounds
+        self._info(name=name, kind="accum",
+                   strategy=compiled.report.strategy,
+                   report=compiled.report,
+                   detail="accumulated array")
+        return ProgramStep(name=name, kind="accum", compiled=compiled)
+
+    # -- iterate -------------------------------------------------------
+
+    def _compile_iterate(self, name, spec: IterateSpec) -> ProgramStep:
+        fn_bind = self.by_name.get(spec.fn)
+        if fn_bind is None or self.kinds.get(spec.fn) != "function":
+            raise CompileError(
+                f"iterate/converge in binding {name!r}: the step "
+                f"{spec.fn!r} must be a program-defined function "
+                "binding (so its body compiles once)"
+            )
+        lam = fn_bind.expr
+        if len(lam.params) != 1:
+            raise CompileError(
+                f"iterate/converge in binding {name!r}: step "
+                f"{spec.fn!r} must take the array as its single "
+                f"parameter (it takes {len(lam.params)})"
+            )
+        param = lam.params[0]
+        body = lam.body
+
+        compiled, mode, reuse_buffers, why_not_inplace = \
+            self._pick_iterate_mode(body, param)
+        bounds = compiled.report.comp.bounds
+
+        seed_dead = self._dead_after(spec.seed, name)
+        if mode == "inplace":
+            self.report.iterate.append(
+                f"{name}: true in-place sweeps — {spec.fn!r} runs in "
+                "the seed buffer (zero steady-state allocations)"
+            )
+        else:
+            self.report.iterate.append(
+                f"{name}: double-buffer sweeps (in-place rejected: "
+                f"{why_not_inplace}); buffer recycling "
+                + ("on" if reuse_buffers else "off")
+            )
+            self.report.fallbacks.append(
+                f"iterate {name!r}: in-place sweeps rejected — "
+                + why_not_inplace
+            )
+        if seed_dead and (mode == "inplace" or reuse_buffers):
+            seed_bounds = self.produced.get(spec.seed)
+            cells = seed_bounds.size() if seed_bounds is not None else 0
+            self.report.reuse_edges.append(ReuseEdge(
+                consumer=name, producer=spec.seed, via="iterate-seed",
+                cells=cells,
+            ))
+            self.report.elided.append(
+                f"iterate {name!r}: seed {spec.seed!r}'s buffer joins "
+                "the sweep rotation (initial copy elided)"
+            )
+            self.consumed.add(spec.seed)
+
+        self.produced[name] = bounds
+        self._info(name=name, kind="iterate",
+                   strategy=compiled.report.strategy,
+                   reuses=spec.seed if seed_dead else None,
+                   report=compiled.report,
+                   detail=f"{spec.kind}-driven, mode {mode}, step "
+                          f"{spec.fn!r} over seed {spec.seed!r}")
+        plan = IteratePlan(
+            kind=spec.kind, param=param, seed=spec.seed,
+            control=spec.control, mode=mode, step=compiled,
+            seed_dead=seed_dead, reuse_buffers=reuse_buffers,
+        )
+        return ProgramStep(name=name, kind="iterate", iterate=plan)
+
+    def _pick_iterate_mode(self, body, param):
+        """In-place sweeps when §9 proves them free; else double-buffer.
+
+        In-place mode demands a clean split plan (no snapshot rings or
+        hoisted temporaries — they would re-allocate every sweep) and a
+        provably total comprehension (an unwritten cell would carry the
+        previous sweep's value, which the pure oracle never does).
+        """
+        inplace = None
+        why = ""
+        try:
+            inplace = pipeline.compile(
+                body, strategy="inplace", old_array=param,
+                params=self.params, options=self.options,
+            )
+        except CompileError as exc:
+            why = str(exc)
+        if inplace is not None:
+            plan = inplace.report.inplace_plan
+            if inplace.report.strategy != "inplace":
+                why = "§9 plan fell back to whole-copy (" + (
+                    plan.reason if plan is not None else "unknown"
+                ) + ")"
+            elif plan is not None and (plan.snapshots or plan.hoisted):
+                why = ("split plan needs snapshot/hoisted temporaries, "
+                       "re-allocated every sweep")
+            elif inplace.report.empties.checks_needed:
+                why = ("comprehension not provably total — unwritten "
+                       "cells would leak the previous sweep")
+            else:
+                return inplace, "inplace", False, ""
+        mono = pipeline.compile(body, strategy="array",
+                                params=self.params, options=self.options)
+        opts = self.options
+        reuse_buffers = (
+            mono.report.strategy == "thunkless"
+            and not mono.report.empties.checks_needed
+            and not (opts is not None and (opts.vectorize or opts.parallel))
+        )
+        return mono, "double", reuse_buffers, why

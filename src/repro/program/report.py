@@ -1,0 +1,110 @@
+"""Program-level compilation reports.
+
+:class:`ProgramReport` aggregates the per-binding
+:class:`~repro.core.pipeline.Report` objects with the decisions that
+only exist at program scope: the topological schedule, every
+cross-binding storage-reuse edge (§9 extended across statements), each
+copy/allocation elided, and — mirroring ``Report.parallel`` — a reason
+string for every fallback, so nothing degrades silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import Report
+
+
+@dataclass
+class BindingInfo:
+    """What the program compiler did with one binding."""
+
+    name: str
+    #: 'array' | 'inplace' | 'bigupd' | 'accum' | 'iterate' | 'scalar'
+    #: | 'function' | 'alias' | 'skipped'
+    kind: str
+    #: Per-binding strategy string ('' for non-array bindings).
+    strategy: str = ""
+    #: Name of the dead array whose storage this binding overwrites.
+    reuses: Optional[str] = None
+    #: The full per-binding pipeline report, when one was produced.
+    report: Optional[Report] = None
+    #: One-line description for the summary.
+    detail: str = ""
+
+
+@dataclass
+class ReuseEdge:
+    """One cross-binding storage-reuse decision (§9 across statements)."""
+
+    consumer: str
+    producer: str
+    #: 'inplace' (liveness-threaded old_array), 'bigupd' (surface
+    #: form), or 'iterate-seed' (the driver sweeps in the seed buffer).
+    via: str
+    #: Cells whose allocation/copy the reuse elides (0 if unknown).
+    cells: int = 0
+
+    def __str__(self):
+        suffix = f", {self.cells} cells elided" if self.cells else ""
+        return (
+            f"{self.consumer} overwrites {self.producer} "
+            f"({self.producer} dead after {self.consumer}; "
+            f"via {self.via}{suffix})"
+        )
+
+
+@dataclass
+class ProgramReport:
+    """Everything the program compiler decided."""
+
+    #: Topological execution order (pruned to what the result needs).
+    order: List[str] = field(default_factory=list)
+    bindings: List[BindingInfo] = field(default_factory=list)
+    #: The binding whose value the compiled program returns.
+    result: str = ""
+    #: Cross-binding storage reuse: one edge per overwritten producer.
+    reuse_edges: List[ReuseEdge] = field(default_factory=list)
+    #: Human-readable line per elided copy/allocation.
+    elided: List[str] = field(default_factory=list)
+    #: Reason strings for every fallback (reuse rejected, double-buffer
+    #: chosen over in-place, ...) — never silent, as Report.parallel.
+    fallbacks: List[str] = field(default_factory=list)
+    #: Convergence-driver decisions (mode chosen per iterate binding).
+    iterate: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Wall-clock seconds per program pass (consumed by the service
+    #: metrics like the single-definition Report.timings).
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def binding(self, name: str) -> BindingInfo:
+        """The :class:`BindingInfo` for ``name`` (KeyError if absent)."""
+        for info in self.bindings:
+            if info.name == name:
+                return info
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        """A human-readable account of the whole-program compilation."""
+        lines = [
+            f"program: {len(self.bindings)} binding(s), "
+            f"result {self.result!r}"
+        ]
+        lines.append("topo order: " + " -> ".join(self.order))
+        for info in self.bindings:
+            label = info.kind + (f"/{info.strategy}" if info.strategy
+                                 else "")
+            detail = f" — {info.detail}" if info.detail else ""
+            lines.append(f"binding {info.name}: {label}{detail}")
+        for edge in self.reuse_edges:
+            lines.append(f"reuse: {edge}")
+        for entry in self.elided:
+            lines.append(f"elided: {entry}")
+        for entry in self.iterate:
+            lines.append(f"iterate: {entry}")
+        for entry in self.fallbacks:
+            lines.append(f"fallback: {entry}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

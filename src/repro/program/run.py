@@ -1,0 +1,303 @@
+"""Executing a compiled program.
+
+:class:`CompiledProgram` holds one :class:`ProgramStep` per scheduled
+binding; calling it runs the steps in topological order against one
+shared environment dict.  Array steps call their per-binding
+:class:`~repro.codegen.compile.CompiledComp`; in-place steps hand the
+dead producer's buffer in as ``old_array``; iterate steps drive the
+compiled sweep either truly in place (SOR) or by double-buffer
+swapping (Jacobi), threading dead buffers back through the emitters'
+``'.reuse'`` slot so a whole convergence run allocates O(1) arrays.
+
+Scalar and function bindings are evaluated by the reference
+interpreter at run time (they are cheap and arbitrary expressions);
+compiled array code reaches program-level functions as plain callables
+through the usual ``_v_name`` environment fetch.
+
+Everything here is picklable (ASTs, reports, and ``CompiledComp``'s
+source-based pickling), which is what lets the compile service
+round-trip whole programs through its disk tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codegen.compile import CompiledComp
+from repro.codegen.support import FlatArray, alloc_buffer, flatten_input
+from repro.lang import ast
+from repro.program.iterate import CONVERGE_CAP, max_abs_diff
+from repro.program.report import ProgramReport
+
+
+class ProgramError(Exception):
+    """A compiled program failed at run time (missing input, diverging
+    convergence loop, bad override)."""
+
+
+@dataclass
+class IteratePlan:
+    """Runtime plan for one ``iterate``/``converge`` binding."""
+
+    kind: str               # 'steps' | 'until'
+    param: str              # the step function's parameter name
+    seed: str               # environment/binding name of the seed
+    control: ast.Node       # unevaluated count / tolerance expression
+    mode: str               # 'inplace' | 'double'
+    step: CompiledComp
+    #: Liveness verdict: the seed's buffer may be overwritten.
+    seed_dead: bool = False
+    #: Double-buffer only: the step provably defines every cell, so
+    #: stale buffers can be handed back through '.reuse'.
+    reuse_buffers: bool = False
+
+
+@dataclass
+class ProgramStep:
+    """One scheduled binding, ready to execute."""
+
+    name: str
+    #: 'array' | 'inplace' | 'bigupd' | 'accum' | 'iterate' | 'scalar'
+    #: | 'function' | 'alias'
+    kind: str
+    compiled: Optional[CompiledComp] = None
+    old_array: Optional[str] = None      # inplace: donated buffer name
+    #: The old array is an external input (bigupd on an environment
+    #: array): copy it before mutating, like the pure oracle would.
+    copy_old: bool = False
+    expr: Optional[ast.Node] = None      # scalar / function bindings
+    target: Optional[str] = None         # alias bindings
+    iterate: Optional[IteratePlan] = None
+
+
+class CompiledProgram:
+    """A compiled multi-binding program.
+
+    Calling it with an environment dict (size parameters, input
+    arrays) executes every scheduled binding and returns the result
+    binding's value.  ``steps=`` / ``tol=`` override the iteration
+    control of the program's convergence loops (the CLI's
+    ``--iterate`` flag).
+    """
+
+    def __init__(self, steps: List[ProgramStep], report: ProgramReport,
+                 params: Optional[Dict] = None):
+        self.steps = steps
+        self.report = report
+        self.params = dict(params or {})
+
+    def __call__(self, env: Optional[Dict] = None, *,
+                 steps: Optional[int] = None,
+                 tol: Optional[float] = None):
+        if (steps is not None or tol is not None) and not any(
+            step.kind == "iterate" for step in self.steps
+        ):
+            raise ProgramError(
+                "steps=/tol= override given, but this program has no "
+                "iterate/converge binding to apply it to"
+            )
+        return _execute(self, dict(env or {}), steps, tol)
+
+    def sources(self) -> Dict[str, str]:
+        """Generated Python per compiled binding, in schedule order."""
+        out: Dict[str, str] = {}
+        for step in self.steps:
+            if step.compiled is not None:
+                out[step.name] = step.compiled.source
+            elif step.iterate is not None:
+                out[step.name] = step.iterate.step.source
+        return out
+
+    def __repr__(self):
+        return (
+            f"CompiledProgram(bindings={len(self.steps)}, "
+            f"result={self.report.result!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution.
+
+
+def _execute(program: CompiledProgram, env: Dict,
+             steps_override: Optional[int],
+             tol_override: Optional[float]):
+    from repro.interp.interp import Interpreter, deep_force
+    from repro.runtime.thunks import force
+
+    merged = dict(program.params)
+    merged.update(env)
+    env = merged
+    interp = Interpreter()
+    genv = interp.globals.child(dict(env))
+
+    def define(name, value):
+        env[name] = value
+        genv.define(name, value)
+
+    for step in program.steps:
+        if step.kind == "scalar":
+            define(step.name, deep_force(interp.eval(step.expr, genv)))
+        elif step.kind == "function":
+            # The interpreter applies Closures; compiled code calls
+            # plain ``_v_name(args)`` — give each its own shape.
+            closure = interp.eval(step.expr, genv)
+            genv.define(step.name, closure)
+            env[step.name] = _as_callable(interp, closure)
+        elif step.kind == "alias":
+            if step.target not in env:
+                raise ProgramError(
+                    f"binding {step.name!r} aliases {step.target!r}, "
+                    "which is neither defined by the program nor "
+                    "present in the environment"
+                )
+            define(step.name, env[step.target])
+        elif step.kind == "iterate":
+            define(step.name, _run_iterate(
+                step.iterate, env, interp, genv,
+                steps_override, tol_override,
+            ))
+        else:  # array / inplace / bigupd / accum
+            _require_inputs(step, env)
+            call_env = env
+            if step.copy_old:
+                old = env[step.old_array]
+                if isinstance(old, FlatArray):
+                    # Mutate a private copy; readers of the old name
+                    # keep seeing the caller's pristine array.
+                    alloc_buffer(len(old.cells))
+                    call_env = dict(env)
+                    call_env[step.old_array] = FlatArray(
+                        old.bounds, list(old.cells)
+                    )
+            define(step.name, step.compiled(call_env))
+    return env[program.report.result]
+
+
+def _require_inputs(step: ProgramStep, env: Dict) -> None:
+    if step.old_array is not None and step.old_array not in env:
+        raise ProgramError(
+            f"binding {step.name!r} reuses the storage of "
+            f"{step.old_array!r}, which is missing from the environment"
+        )
+
+
+def _as_callable(interp, closure):
+    """Wrap an interpreter closure as a plain Python callable.
+
+    Compiled array code calls free functions as ``_v_name(args)``;
+    scalar bindings reach them through the interpreter directly.
+    """
+    from repro.runtime.thunks import force
+
+    def call(*args):
+        fn = closure
+        for arg in args:
+            fn = interp.apply(fn, arg)
+        return force(fn)
+
+    return call
+
+
+def _run_iterate(plan: IteratePlan, env: Dict, interp, genv,
+                 steps_override: Optional[int],
+                 tol_override: Optional[float]):
+    from repro.interp.interp import deep_force
+
+    kind = plan.kind
+    if steps_override is not None:
+        kind, control = "steps", int(steps_override)
+    elif tol_override is not None:
+        kind, control = "until", tol_override
+    else:
+        try:
+            control = deep_force(interp.eval(plan.control, genv))
+        except NameError as exc:
+            knob = "steps=N" if kind == "steps" else "tol=X"
+            raise ProgramError(
+                f"cannot evaluate the iteration control: {exc}; pass "
+                f"it as a parameter or override with {knob}"
+            ) from exc
+    if kind == "steps" and (not isinstance(control, int) or control < 0):
+        raise ProgramError(
+            f"iterate needs a non-negative integer sweep count, "
+            f"got {control!r}"
+        )
+
+    seed_value = env.get(plan.seed)
+    if seed_value is None:
+        raise ProgramError(
+            f"iterate seed {plan.seed!r} is neither defined by the "
+            "program nor present in the environment"
+        )
+    bounds, cells = flatten_input(seed_value)
+    # flatten_input hands back the seed's own cell list only for
+    # FlatArray inputs; anything else was already copied, so the
+    # buffer is ours regardless of liveness.
+    owned = plan.seed_dead or not isinstance(seed_value, FlatArray)
+    current = FlatArray(bounds, cells)
+
+    if plan.mode == "inplace":
+        return _sweep_inplace(plan, env, kind, control, current, owned)
+    return _sweep_double(plan, env, kind, control, current, owned)
+
+
+def _sweep_inplace(plan: IteratePlan, env: Dict, kind: str, control,
+                   current: FlatArray, owned: bool) -> FlatArray:
+    """True in-place sweeps (SOR): zero steady-state allocations."""
+    if not owned:
+        alloc_buffer(len(current.cells))
+        current = FlatArray(current.bounds, list(current.cells))
+    if kind == "steps":
+        for _ in range(control):
+            plan.step({**env, plan.param: current})
+        return current
+    alloc_buffer(len(current.cells))
+    shadow = list(current.cells)
+    for _ in range(CONVERGE_CAP):
+        shadow[:] = current.cells
+        plan.step({**env, plan.param: current})
+        if max_abs_diff(current.cells, shadow) <= control:
+            return current
+    raise ProgramError(
+        f"converge: no fixpoint within {CONVERGE_CAP} sweeps "
+        f"(tol={control!r})"
+    )
+
+
+def _sweep_double(plan: IteratePlan, env: Dict, kind: str, control,
+                  seed: FlatArray, owned: bool) -> FlatArray:
+    """Double-buffer sweeps (Jacobi): at most two live buffers.
+
+    Each sweep reads ``previous`` and writes a fresh output; the buffer
+    the *previous* sweep read becomes the spare handed back to the
+    compiled step through the ``'.reuse'`` slot.  The seed's own buffer
+    joins the rotation only when liveness proved it dead.
+    """
+    previous = seed
+    spare = None
+    total = control if kind == "steps" else CONVERGE_CAP
+    for _ in range(total):
+        call_env = dict(env)
+        call_env[plan.param] = previous
+        if plan.reuse_buffers and spare is not None:
+            call_env[".reuse"] = spare
+        stepped = plan.step(call_env)
+        converged = (
+            kind == "until"
+            and max_abs_diff(stepped.cells, previous.cells) <= control
+        )
+        may_donate = previous is not seed or owned
+        spare = previous.cells if (
+            may_donate and isinstance(previous.cells, list)
+        ) else None
+        previous = stepped
+        if converged:
+            return previous
+    if kind == "until":
+        raise ProgramError(
+            f"converge: no fixpoint within {CONVERGE_CAP} sweeps "
+            f"(tol={control!r})"
+        )
+    return previous

@@ -38,6 +38,7 @@ from repro.service.fingerprint import (
     canonical_comp,
     canonical_expr,
     fingerprint,
+    fingerprint_program,
 )
 from repro.service.metrics import Histogram, ServiceMetrics
 from repro.service.service import (
@@ -69,5 +70,6 @@ __all__ = [
     "canonical_expr",
     "default_service",
     "fingerprint",
+    "fingerprint_program",
     "resolve_cache",
 ]

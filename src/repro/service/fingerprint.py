@@ -42,7 +42,9 @@ from repro.lang.parser import parse_expr
 #: Version salt mixed into every fingerprint.  Bump the trailing
 #: counter when the pipeline's output (source or report) can change.
 #: /2: unified compile() facade, normalized reports, parallel backend.
-PIPELINE_SALT = "repro-pipeline/2"
+#: /3: program compiler, buffer-reuse codegen (the '.reuse' slot
+#:     changed every thunkless emitter's output).
+PIPELINE_SALT = "repro-pipeline/3"
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +314,49 @@ def fingerprint(
         f"options={_options_key(options)}",
         f"params={sorted((params or {}).items())!r}",
         f"comp={comp_serial}",
+    ]
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_program(
+    src,
+    params: Optional[Dict] = None,
+    options=None,
+    result: Optional[str] = None,
+    salt: str = PIPELINE_SALT,
+) -> str:
+    """SHA-256 cache key for one whole-program compilation request.
+
+    ``src`` may be program source text or a parsed binding list.  All
+    top-level names are pre-bound to positional ids (program bindings
+    are letrec-like: order-free, mutually visible), so alpha-renaming
+    the bindings — including the result binding — does not change the
+    key, while renaming free names (parameters, input arrays) does.
+    The requested ``result`` is resolved to its positional id for the
+    same reason.
+    """
+    from repro.lang.parser import parse_program
+
+    binds = parse_program(src) if isinstance(src, str) else list(src)
+    env: Dict[str, str] = {}
+    counter = [0]
+    for bind in binds:
+        _bind(env, bind.name, counter)
+    serial = " ".join(
+        f"(tbind {env[bind.name]} {_canon(bind.expr, env, counter)})"
+        for bind in binds
+    )
+    if result is None:
+        names = {bind.name for bind in binds}
+        result = "main" if "main" in names else binds[-1].name
+    parts = [
+        f"salt={salt}",
+        "mode=program",
+        f"result={env.get(result, result)}",
+        f"options={_options_key(options)}",
+        f"params={sorted((params or {}).items())!r}",
+        f"program=({serial})",
     ]
     digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
     return digest.hexdigest()

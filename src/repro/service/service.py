@@ -145,6 +145,63 @@ class CompileService:
         """Compile through the cache; semantics of ``repro.compile``."""
         key = self.fingerprint(src, params, options, force_strategy,
                                strategy, old_array)
+
+        def build():
+            from repro.core import pipeline
+
+            return pipeline.compile(
+                src, strategy=strategy, params=params, options=options,
+                force_strategy=force_strategy, old_array=old_array,
+            )
+
+        return self._cached(key, build)
+
+    def fingerprint_program(self, src, params=None, options=None,
+                            result=None) -> str:
+        """The cache key this service would use for a whole program."""
+        from repro.service.fingerprint import fingerprint_program
+
+        memo_key = None
+        if isinstance(src, str):
+            memo_key = (
+                "program", src,
+                repr(sorted((params or {}).items())),
+                _options_key(options), result,
+            )
+            cached = self._fp_memo.get(memo_key)
+            if cached is not None:
+                return cached
+        key = fingerprint_program(
+            src, params=params, options=options, result=result,
+            salt=self.salt,
+        )
+        if memo_key is not None:
+            with self._lock:
+                if len(self._fp_memo) >= _FP_MEMO_CAP:
+                    self._fp_memo.clear()
+                self._fp_memo[memo_key] = key
+        return key
+
+    def compile_program(self, src, params=None, options=None,
+                        result=None):
+        """Whole-program compile through the cache.
+
+        Same store/in-flight discipline as :meth:`compile`;
+        :class:`~repro.program.run.CompiledProgram` objects pickle
+        through the disk tier like single definitions do.
+        """
+        key = self.fingerprint_program(src, params, options, result)
+
+        def build():
+            from repro.program.compile import compile_program
+
+            return compile_program(src, params=params, options=options,
+                                   result=result)
+
+        return self._cached(key, build)
+
+    def _cached(self, key: str, build):
+        """Store lookup -> in-flight dedup -> build -> store put."""
         started = perf_counter()
         compiled, tier = self.store.get(key)
         if compiled is not None:
@@ -162,13 +219,8 @@ class CompileService:
             return future.result()
 
         try:
-            from repro.core import pipeline
-
             started = perf_counter()
-            compiled = pipeline.compile(
-                src, strategy=strategy, params=params, options=options,
-                force_strategy=force_strategy, old_array=old_array,
-            )
+            compiled = build()
             elapsed = perf_counter() - started
             self.store.put(key, compiled)
             self.metrics.record_miss(

@@ -115,6 +115,10 @@ class DiskStore:
                 or payload.get("fingerprint") != fingerprint
             ):
                 raise ValueError("stale or foreign cache entry")
+            if "program" in payload:
+                # Whole-program entries pickle the CompiledProgram
+                # object (its steps re-hydrate their own source).
+                return payload["program"]
             return CompiledComp(payload["source"], payload["report"])
         except FileNotFoundError:
             return None
@@ -133,9 +137,12 @@ class DiskStore:
             "format": FORMAT_VERSION,
             "salt": self.salt,
             "fingerprint": fingerprint,
-            "source": compiled.source,
-            "report": compiled.report,
         }
+        if hasattr(compiled, "source"):
+            payload["source"] = compiled.source
+            payload["report"] = compiled.report
+        else:
+            payload["program"] = compiled
         path = self._path(fingerprint)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -242,3 +242,98 @@ class TestCacheFlag:
     def test_file_required_for_compile(self):
         with pytest.raises(SystemExit):
             main(["compile"])
+
+
+class TestProgramCommands:
+    """Multi-binding programs through the CLI."""
+
+    @pytest.fixture
+    def jacobi_file(self, tmp_path):
+        from repro.kernels import PROGRAM_JACOBI
+
+        path = tmp_path / "jacobi_prog.hs"
+        path.write_text(PROGRAM_JACOBI)
+        return str(path)
+
+    @pytest.fixture
+    def pipeline_file(self, tmp_path):
+        from repro.kernels import PROGRAM_PIPELINE
+
+        path = tmp_path / "pipeline.hs"
+        path.write_text(PROGRAM_PIPELINE)
+        return str(path)
+
+    def test_run_prints_report_and_grid(self, jacobi_file, capsys):
+        assert main(["run", jacobi_file, "-p", "m=6",
+                     "-p", "tol=1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "topo order: u0 -> step -> main" in out
+        assert "iterate:" in out
+        # 6x6 grid after the blank line separating report from result
+        grid = out.split("\n\n", 1)[1]
+        assert len(grid.strip().splitlines()) == 6
+
+    def test_run_matches_oracle(self, pipeline_file, capsys):
+        main(["oracle", pipeline_file, "-p", "n=8"])
+        oracle = capsys.readouterr().out
+        assert main(["run", pipeline_file, "-p", "n=8"]) == 0
+        out = capsys.readouterr().out
+        assert out.split("\n\n", 1)[1].lstrip() == oracle.lstrip()
+
+    def test_iterate_override(self, jacobi_file, capsys):
+        assert main(["run", jacobi_file, "-p", "m=6",
+                     "-p", "tol=1e-3", "--iterate", "steps=2"]) == 0
+        two = capsys.readouterr().out.split("\n\n", 1)[1]
+        assert main(["run", jacobi_file, "-p", "m=6",
+                     "-p", "tol=1e-3", "--iterate", "steps=9"]) == 0
+        nine = capsys.readouterr().out.split("\n\n", 1)[1]
+        assert two != nine
+
+    def test_analyze_names_reuse(self, pipeline_file, capsys):
+        assert main(["analyze", pipeline_file, "-p", "n=8"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse: c overwrites b" in out
+        assert "elided" in out
+
+    def test_compile_prints_per_binding_sources(self, pipeline_file,
+                                                capsys):
+        assert main(["compile", pipeline_file, "-p", "n=8"]) == 0
+        out = capsys.readouterr().out
+        assert "# --- binding b ---" in out
+        assert "def _build(_env):" in out
+
+    def test_iterate_on_expression_rejected(self, squares_file):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", squares_file, "-p", "n=4",
+                  "--iterate", "steps=3"])
+        assert "single definition" in str(exc_info.value)
+
+    def test_strategy_flag_on_program_rejected(self, pipeline_file):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compile", pipeline_file, "-p", "n=8",
+                  "--strategy", "thunked"])
+        assert "per binding" in str(exc_info.value)
+
+    def test_inplace_flag_on_program_rejected(self, pipeline_file):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compile", pipeline_file, "-p", "n=8",
+                  "--inplace", "b"])
+        assert "reuse" in str(exc_info.value)
+
+    def test_bad_iterate_value(self, jacobi_file):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["run", jacobi_file, "-p", "m=6",
+                  "--iterate", "sweeps=3"])
+        assert "tol=FLOAT" in str(exc_info.value)
+
+    def test_program_run_with_cache(self, pipeline_file, tmp_path,
+                                    capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", pipeline_file, "-p", "n=8",
+                     "--cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert main(["run", pipeline_file, "-p", "n=8",
+                     "--cache", cache]) == 0
+        assert capsys.readouterr().out == cold
+        assert main(["serve-stats", "--cache", cache]) == 0
+        assert "strategy program: 1" in capsys.readouterr().out
