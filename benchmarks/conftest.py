@@ -4,11 +4,33 @@ Each ``test_bench_e*.py`` file regenerates one experiment from
 EXPERIMENTS.md.  Timing goes through pytest-benchmark; the qualitative
 claims (dependence graphs, copy counts, check counts) are asserted so a
 benchmark run is also a reproduction check.
+
+Set ``REPRO_BENCH_JSON=1`` to write a normalized ``BENCH_<host>.json``
+at session end (host tag from ``REPRO_BENCH_HOST``, directory from
+``REPRO_BENCH_DIR``) — the input to ``python -m repro bench-check``.
 """
+
+import os
 
 import pytest
 
 from repro import FlatArray
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit ``BENCH_<host>.json`` when ``REPRO_BENCH_JSON`` is set."""
+    if not os.environ.get("REPRO_BENCH_JSON"):
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    from repro.obs.bench import BenchSuite
+
+    suite = BenchSuite.from_pytest_benchmarks(benchmarks)
+    if suite.records:
+        path = suite.write()
+        print(f"\nwrote {path} ({len(suite.records)} benchmark record(s))")
 
 
 @pytest.fixture

@@ -37,7 +37,7 @@ import pytest
 
 import repro
 from repro.codegen.support import ALLOC_STATS
-from repro.program import CONVERGE_CAP, compile_program, max_abs_diff
+from repro.program import CONVERGE_CAP, compile_program
 
 FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 M = 48 if FAST else 128

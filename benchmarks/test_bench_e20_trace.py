@@ -1,0 +1,126 @@
+"""E20 (extension) — what observability costs at run time.
+
+The compile-time spans replaced bookkeeping the pipeline already did
+(``Report.timings`` was always filled from ``perf_counter`` pairs), so
+the interesting price is the runtime side: the ``REPRO_TRACE``-gated
+counters in ``alloc_buffer`` and ``par_chunks`` and the program
+driver's sweep counters.  Disabled, each site costs one module-global
+boolean test; enabled, a dict upsert per *allocation or dispatch* —
+never per cell.
+
+Asserted shape, on the E18 SOR kernel:
+
+* results are **bit-identical** with tracing on and off (counters
+  observe, they never steer);
+* enabling ``REPRO_TRACE=1`` slows the compiled kernel by **< 3%**
+  (best-of-k wall time; the relaxed ``REPRO_BENCH_FAST`` bound is 15%
+  because small meshes amplify fixed noise);
+* the counters actually count: an SOR run records its buffer
+  allocation, a program convergence run its sweeps.
+
+Set ``REPRO_BENCH_FAST=1`` for a CI-sized run (n = 48).
+"""
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro import FlatArray
+from repro.kernels import PROGRAM_JACOBI_STEPS, SOR_MONOLITHIC, mesh_cells
+from repro.obs.trace import (
+    refresh_runtime_tracing,
+    reset_runtime_counters,
+    runtime_counters,
+)
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+N = 48 if FAST else 192
+REPEAT = 5 if FAST else 9
+MAX_OVERHEAD = 0.15 if FAST else 0.03
+
+
+def best_of(fn, repeat=REPEAT):
+    """Best wall time over ``repeat`` runs (noise-resistant floor)."""
+    times = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def sor_env(n):
+    return {
+        "m": n,
+        "u": FlatArray.from_list(((1, 1), (n, n)), mesh_cells(n)),
+        "omega": 1.5,
+    }
+
+
+@pytest.fixture
+def tracing_env(monkeypatch):
+    """Flip ``REPRO_TRACE`` and restore the gate afterwards."""
+
+    def set_tracing(enabled):
+        if enabled:
+            monkeypatch.setenv("REPRO_TRACE", "1")
+        else:
+            monkeypatch.delenv("REPRO_TRACE", raising=False)
+        return refresh_runtime_tracing()
+
+    yield set_tracing
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    refresh_runtime_tracing()
+
+
+def test_e20_trace_overhead_and_identity(tracing_env):
+    """The headline claim: < 3% overhead, bit-identical results."""
+    compiled = repro.compile(SOR_MONOLITHIC, params={"m": N})
+    env = sor_env(N)
+
+    assert tracing_env(False) is False
+    baseline = best_of(lambda: compiled(env))
+    untraced = compiled(env).to_list()
+
+    assert tracing_env(True) is True
+    reset_runtime_counters()
+    traced = best_of(lambda: compiled(env))
+    traced_result = compiled(env).to_list()
+    counters = runtime_counters()
+
+    assert traced_result == untraced  # counters observe, never steer
+    assert counters.get("alloc.arrays", 0) >= 1
+    overhead = traced / baseline - 1.0
+    assert overhead <= MAX_OVERHEAD, (
+        f"REPRO_TRACE=1 cost {overhead:.1%} "
+        f"(bound {MAX_OVERHEAD:.0%}, baseline {baseline * 1e3:.3f}ms)"
+    )
+
+
+def test_e20_program_sweep_counters(tracing_env):
+    """A convergence run records its sweeps and buffer recycling."""
+    n = 16
+    program = repro.compile_program(PROGRAM_JACOBI_STEPS,
+                                    params={"m": n, "k": 8})
+    assert tracing_env(True) is True
+    reset_runtime_counters()
+    result = program({"m": n, "k": 8})
+    counters = runtime_counters()
+    assert len(result.to_list()) == n * n
+    assert counters.get("iterate.sweeps.double", 0) == 8
+    assert counters.get("alloc.arrays", 0) >= 1
+
+
+@pytest.mark.benchmark(group="E20-trace")
+def test_e20_traced_run(benchmark, tracing_env):
+    """The traced configuration, timed for the BENCH_<host> record."""
+    compiled = repro.compile(SOR_MONOLITHIC, params={"m": N})
+    env = sor_env(N)
+    assert tracing_env(True) is True
+    benchmark.extra_info["kernel"] = "SOR_MONOLITHIC"
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["strategy"] = compiled.report.strategy
+    result = benchmark(lambda: compiled(env))
+    assert len(result.to_list()) == N * N

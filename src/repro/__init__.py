@@ -58,6 +58,7 @@ from repro.core.pipeline import (
 )
 from repro.interp import evaluate, run_program
 from repro.lang import parse_expr, parse_program, pretty
+from repro.obs import Explanation, explain, explain_report
 from repro.program import (
     CompiledProgram,
     ProgramError,
@@ -91,6 +92,7 @@ __all__ = [
     "CompileRequest",
     "CompileService",
     "CompiledProgram",
+    "Explanation",
     "FlatArray",
     "NonStrictArray",
     "ProgramError",
@@ -108,6 +110,8 @@ __all__ = [
     "compile_program",
     "detect_strategy",
     "evaluate",
+    "explain",
+    "explain_report",
     "fingerprint",
     "fingerprint_program",
     "force_elements",

@@ -11,8 +11,15 @@ run
     Compile and execute, printing the resulting array.
 oracle
     Evaluate with the lazy reference interpreter instead.
+explain
+    Print the decision trace: why each schedule / in-place /
+    vectorize / parallel / reuse decision was taken or rejected
+    (``--json`` for the machine form).
 serve-stats
     Inspect the on-disk compile cache (entry count, bytes, strategies).
+bench-check
+    Compare two ``BENCH_<host>.json`` files (baseline, current) and
+    exit nonzero on a regression beyond ``--tolerance``.
 
 Size parameters are passed as ``-p name=value`` (ints or floats);
 ``-`` reads the definition from stdin.  ``--cache [DIR]`` serves
@@ -220,6 +227,40 @@ def _print_result(result):
         print(repr(result))
 
 
+def _explain_command(args, source: str, params) -> int:
+    """``explain``: the decision trace for a definition or program."""
+    from repro.obs.explain import explain
+
+    try:
+        options = CodegenOptions.from_flags(
+            vectorize=args.vectorize,
+            parallel=args.parallel,
+            parallel_threads=args.parallel_threads,
+            inplace=bool(args.inplace),
+        )
+    except CodegenError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        explanation = explain(
+            source,
+            params=params,
+            options=options,
+            old_array=args.inplace,
+            strategy="inplace" if args.inplace else "auto",
+            force_strategy=(None if args.strategy == "auto"
+                            else args.strategy),
+        )
+    except CompileError as exc:
+        raise SystemExit(f"compile error: {exc}") from exc
+    if args.json:
+        import json
+
+        print(json.dumps(explanation.to_json(), indent=2))
+    else:
+        print(explanation.render())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,9 +269,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command",
                         choices=["analyze", "compile", "run", "oracle",
-                                 "serve-stats"])
+                                 "explain", "serve-stats",
+                                 "bench-check"])
     parser.add_argument("file", nargs="?",
-                        help="source file, or - for stdin")
+                        help="source file, or - for stdin "
+                             "(bench-check: the baseline json)")
+    parser.add_argument("file2", nargs="?",
+                        help="bench-check only: the current-run json")
     parser.add_argument("-p", "--param", action="append",
                         metavar="NAME=NUM",
                         help="size parameter, int or float (repeatable)")
@@ -258,16 +303,42 @@ def main(argv=None) -> int:
     parser.add_argument("--iterate", metavar="KEY=VALUE",
                         help="override a program's iteration control: "
                              "tol=FLOAT or steps=INT (programs only)")
+    parser.add_argument("--json", action="store_true",
+                        help="explain only: emit the decision trace "
+                             "as JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="bench-check only: allowed fractional "
+                             "slowdown before failing (default 0.25)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="bench-check only: benchmarks missing "
+                             "from the current run are notes, not "
+                             "failures")
     args = parser.parse_args(argv)
 
     if args.command == "serve-stats":
         return _serve_stats(_cache_dir(args.cache))
 
+    if args.command == "bench-check":
+        if not args.file or not args.file2:
+            parser.error("bench-check needs BASELINE and CURRENT "
+                         "json files")
+        from repro.obs.bench import bench_check
+
+        return bench_check(args.file, args.file2,
+                           tolerance=args.tolerance,
+                           allow_missing=args.allow_missing)
+
     if not args.file:
         parser.error(f"command {args.command!r} needs a source file")
+    if args.file2:
+        parser.error("a second file only applies to bench-check")
 
     source = _read_source(args.file)
     params = _parse_params(args.param)
+
+    if args.command == "explain":
+        return _explain_command(args, source, params)
 
     from repro.program import as_program
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence
 
+from repro.obs.trace import count_runtime
 from repro.runtime.bounds import Bounds
 from repro.runtime.errors import (
     BoundsError,
@@ -98,6 +99,8 @@ def alloc_buffer(size: int) -> None:
     """
     ALLOC_STATS.arrays_allocated += 1
     ALLOC_STATS.cells_allocated += size
+    count_runtime("alloc.arrays")
+    count_runtime("alloc.cells", size)
 
 
 class FlatArray:
@@ -197,8 +200,11 @@ def par_chunks(body, start: int, stop: int, step: int,
         return
     workers = max(1, min(workers, total))
     if workers == 1:
+        count_runtime("par_chunks.serial")
         body(start, start + (total - 1) * step)
         return
+    count_runtime("par_chunks.dispatched")
+    count_runtime("par_chunks.chunks", workers)
     from concurrent.futures import ThreadPoolExecutor
 
     base, extra = divmod(total, workers)

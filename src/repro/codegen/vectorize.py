@@ -20,9 +20,8 @@ that do not qualify fall back to scalar emission transparently.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
-from repro.comprehension.loopir import SVClause
 from repro.core.affine import NonAffineError, affine_from_ast
 from repro.core.schedule import ScheduledClause, ScheduledLoop
 from repro.lang import ast

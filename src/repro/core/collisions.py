@@ -25,9 +25,9 @@ then the written subscripts are a permutation of the index space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.comprehension.loopir import ArrayComp, LoopNest, SVClause
+from repro.comprehension.loopir import ArrayComp, SVClause
 from repro.core.banerjee import banerjee_test
 from repro.core.direction import refine_directions
 from repro.core.exact import exact_test

@@ -23,11 +23,11 @@ was not affine and nothing could be proved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.comprehension.loopir import ArrayComp, SVClause
 from repro.core.direction import DirVec, refine_directions, reverse
-from repro.core.subscripts import Reference, build_equations, shared_loops
+from repro.core.subscripts import Reference, build_equations
 
 FLOW = "flow"
 ANTI = "anti"

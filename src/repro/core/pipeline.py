@@ -41,7 +41,6 @@ from repro.codegen.emit import (
     emit_thunkless,
 )
 from repro.comprehension.build import (
-    BuildError,
     build_array_comp,
     find_array_comp,
 )
@@ -58,6 +57,7 @@ from repro.core.inplace import InPlacePlan, plan_inplace
 from repro.core.schedule import Schedule, schedule_comp
 from repro.lang import ast
 from repro.lang.parser import parse_expr
+from repro.obs.trace import ensure_trace, span, span_timings, trace_scope
 
 
 class CompileError(Exception):
@@ -84,8 +84,13 @@ class Report:
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per pipeline pass (parse, build, dependence,
     #: schedule, codegen, ...) — consumed by the compile service's
-    #: metrics; not part of the semantic compilation result.
+    #: metrics; not part of the semantic compilation result.  Derived
+    #: from :attr:`trace` (``"total"`` is the root span, so the pass
+    #: entries always sum to at most ``total``, glue included).
     timings: Dict[str, float] = field(default_factory=dict)
+    #: The structured compile trace (:class:`repro.obs.trace.Trace`)
+    #: this report's ``timings`` view is derived from.
+    trace: Optional[object] = None
 
     def summary(self) -> str:
         """A short human-readable account of the compilation."""
@@ -158,7 +163,6 @@ def _base_report(
     edges: List[DepEdge],
     schedule: Optional[Schedule],
     flow: Optional[List[DepEdge]] = None,
-    timings: Optional[Dict[str, float]] = None,
 ) -> Report:
     """One :class:`Report` constructor for every strategy.
 
@@ -178,7 +182,6 @@ def _base_report(
         schedule=schedule,
         vectorizable=_vectorizable_loops(comp, flow),
         parallelism=analyze_parallelism(comp, flow),
-        timings=timings if timings is not None else {},
     )
 
 
@@ -188,30 +191,24 @@ def analyze(
     verify_exact: bool = True,
 ) -> Report:
     """Run analysis and scheduling without generating code."""
-    from time import perf_counter
-
-    timings: Dict[str, float] = {}
-    tick = perf_counter()
-    expr = _parse(src)
-    timings["parse"] = perf_counter() - tick
-    tick = perf_counter()
-    name, bounds_ast, pairs_ast = find_array_comp(expr)
-    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
-    timings["build"] = perf_counter() - tick
-    tick = perf_counter()
-    collision = analyze_collisions(comp)
-    empties = analyze_empties(comp, collision)
-    timings["collisions"] = perf_counter() - tick
-    tick = perf_counter()
-    edges = flow_edges(comp, verify_exact=verify_exact)
-    timings["dependence"] = perf_counter() - tick
-    tick = perf_counter()
-    schedule = schedule_comp(comp, edges)
-    timings["schedule"] = perf_counter() - tick
-    tick = perf_counter()
-    report = _base_report(comp, collision, empties, edges, schedule,
-                          timings=timings)
-    timings["parallelism"] = perf_counter() - tick
+    with ensure_trace("analyze") as trace:
+        with span("parse"):
+            expr = _parse(src)
+        with span("build"):
+            name, bounds_ast, pairs_ast = find_array_comp(expr)
+            comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+        with span("collisions"):
+            collision = analyze_collisions(comp)
+            empties = analyze_empties(comp, collision)
+        with span("dependence"):
+            edges = flow_edges(comp, verify_exact=verify_exact)
+        with span("schedule"):
+            schedule = schedule_comp(comp, edges)
+        with span("parallelism"):
+            report = _base_report(comp, collision, empties, edges,
+                                  schedule)
+    report.trace = trace.root
+    report.timings = trace.timings()
     return report
 
 
@@ -227,9 +224,20 @@ def _compile_array(
     or ``"thunkless"``) for benchmarking; forcing ``"thunkless"`` on an
     unsafely scheduled array raises :class:`CompileError`.
     """
-    from time import perf_counter
+    with trace_scope("compile") as scope:
+        compiled = _compile_array_traced(src, params, options,
+                                         force_strategy)
+    compiled.report.trace = scope
+    compiled.report.timings = span_timings(scope)
+    return compiled
 
-    started = perf_counter()
+
+def _compile_array_traced(
+    src,
+    params: Optional[Dict[str, int]],
+    options: Optional[CodegenOptions],
+    force_strategy: Optional[str],
+) -> CompiledComp:
     report = analyze(src, params)
     if options is not None and options.vectorize:
         # §8.2/§10 extension: interchange perfect nests whose inner
@@ -242,13 +250,14 @@ def _compile_array(
 
         proposals = plan_interchanges(report.comp, report.edges)
         if proposals:
-            for outer in proposals:
-                interchange(report.comp, outer)
-            report.edges = flow_edges(report.comp)
-            report.schedule = _schedule(report.comp, report.edges)
-            report.vectorizable = _vectorizable_loops(
-                report.comp, report.edges
-            )
+            with span("interchange"):
+                for outer in proposals:
+                    interchange(report.comp, outer)
+                report.edges = flow_edges(report.comp)
+                report.schedule = _schedule(report.comp, report.edges)
+                report.vectorizable = _vectorizable_loops(
+                    report.comp, report.edges
+                )
             report.notes.append(
                 "interchanged "
                 + ", ".join(f"loops around {p.var}" for p in proposals)
@@ -316,29 +325,29 @@ def _compile_array(
                 "has no static schedule to parallelize"
             )
 
-    tick = perf_counter()
     try:
-        if strategy == "thunkless":
-            source = emit_thunkless(
-                report.comp, report.schedule, options, params,
-                edges=report.edges,
-                parallel_plan=parallel_plan,
-                parallel_log=report.parallel,
-            )
-            if options.vectorize:
-                report.notes.append(
-                    "vectorization requested (paper §10): qualifying "
-                    "innermost loops emitted as numpy slices"
+        with span("codegen"):
+            if strategy == "thunkless":
+                source = emit_thunkless(
+                    report.comp, report.schedule, options, params,
+                    edges=report.edges,
+                    parallel_plan=parallel_plan,
+                    parallel_log=report.parallel,
                 )
-        elif strategy == "thunked":
-            source = emit_thunked(report.comp, options, params)
-        else:
-            raise CompileError(f"unknown strategy {strategy!r}")
+                if options.vectorize:
+                    report.notes.append(
+                        "vectorization requested (paper §10): "
+                        "qualifying innermost loops emitted as numpy "
+                        "slices"
+                    )
+            elif strategy == "thunked":
+                source = emit_thunked(report.comp, options, params)
+            else:
+                raise CompileError(f"unknown strategy {strategy!r}")
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
-    report.timings["codegen"] = perf_counter() - tick
-    report.timings["total"] = perf_counter() - started
-    return CompiledComp(source, report)
+    with span("exec"):
+        return CompiledComp(source, report)
 
 
 def find_bigupd(expr: ast.Node):
@@ -393,6 +402,18 @@ def _compile_accum_array(
     An unrecognized combiner expression is compiled as an environment
     call when it is a plain variable, otherwise rejected.
     """
+    with trace_scope("compile") as scope:
+        compiled = _compile_accum_traced(src, params, options)
+    compiled.report.trace = scope
+    compiled.report.timings = span_timings(scope)
+    return compiled
+
+
+def _compile_accum_traced(
+    src,
+    params: Optional[Dict[str, int]],
+    options: Optional[CodegenOptions],
+) -> CompiledComp:
     from repro.codegen.emit import emit_accum
     from repro.codegen.exprs import CodegenError
     from repro.core.accum import (
@@ -402,12 +423,15 @@ def _compile_accum_array(
         source_schedule,
     )
 
-    expr = _parse(src)
-    try:
-        name, f_ast, init_ast, bounds_ast, pairs_ast = find_accum_array(expr)
-    except ValueError as exc:
-        raise CompileError(str(exc)) from exc
-    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    with span("parse"):
+        expr = _parse(src)
+        try:
+            name, f_ast, init_ast, bounds_ast, pairs_ast = \
+                find_accum_array(expr)
+        except ValueError as exc:
+            raise CompileError(str(exc)) from exc
+    with span("build"):
+        comp = build_array_comp(name, bounds_ast, pairs_ast, params)
     kind, op = classify_combiner(f_ast)
 
     if kind == "commutative":
@@ -421,23 +445,27 @@ def _compile_accum_array(
             "combining function must be a two-parameter lambda or a name"
         )
 
-    collision = analyze_collisions(comp)
-    empties = analyze_empties(comp, collision)
-    edges = flow_edges(comp) if comp.name else []
+    with span("collisions"):
+        collision = analyze_collisions(comp)
+        empties = analyze_empties(comp, collision)
+    with span("dependence"):
+        edges = flow_edges(comp) if comp.name else []
 
-    if reordering_allowed(comp, kind):
-        schedule = schedule_comp(comp, edges)
-        strategy_note = "reorderable (commutative or collision-free)"
-    else:
-        schedule = source_schedule(comp)
-        strategy_note = "source order preserved (ordered combiner)"
+    with span("schedule"):
+        if reordering_allowed(comp, kind):
+            schedule = schedule_comp(comp, edges)
+            strategy_note = "reorderable (commutative or collision-free)"
+        else:
+            schedule = source_schedule(comp)
+            strategy_note = "source order preserved (ordered combiner)"
     if not schedule.ok:
         raise CompileError(
             "cannot schedule accumulated array: "
             + "; ".join(schedule.failures)
         )
 
-    report = _base_report(comp, collision, empties, edges, schedule)
+    with span("parallelism"):
+        report = _base_report(comp, collision, empties, edges, schedule)
     report.strategy = "accumulate"
     report.checks = options or CodegenOptions()
     report.notes += [f"combiner: {kind}" + (f" ({op})" if op else ""),
@@ -448,11 +476,13 @@ def _compile_accum_array(
             "combine element-wise in schedule order"
         )
     try:
-        source = emit_accum(comp, schedule, combine, init_ast,
-                            report.checks, params)
+        with span("codegen"):
+            source = emit_accum(comp, schedule, combine, init_ast,
+                                report.checks, params)
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
-    return CompiledComp(source, report)
+    with span("exec"):
+        return CompiledComp(source, report)
 
 
 def _compile_array_inplace(
@@ -484,29 +514,52 @@ def _compile_inplace_parts(
     params: Optional[Dict[str, int]],
     options: Optional[CodegenOptions],
 ) -> CompiledComp:
-    comp = build_array_comp(name, bounds_ast, pairs_ast, params)
-    collision = analyze_collisions(comp)
-    empties = analyze_empties(comp, collision)
+    with trace_scope("compile") as scope:
+        compiled = _compile_inplace_traced(
+            name, bounds_ast, pairs_ast, old_array, params, options
+        )
+    compiled.report.trace = scope
+    compiled.report.timings = span_timings(scope)
+    return compiled
+
+
+def _compile_inplace_traced(
+    name: str,
+    bounds_ast,
+    pairs_ast,
+    old_array: str,
+    params: Optional[Dict[str, int]],
+    options: Optional[CodegenOptions],
+) -> CompiledComp:
+    with span("build"):
+        comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+    with span("collisions"):
+        collision = analyze_collisions(comp)
+        empties = analyze_empties(comp, collision)
     if collision.status == CERTAIN:
         raise CompileError("write collision is certain")
 
-    flow = flow_edges(comp) if comp.name else []
-    anti = anti_edges(comp, old_array)
-    edges = flow + anti
-    schedule = schedule_comp(comp, edges, allow_node_splitting=True)
-    report = _base_report(comp, collision, empties, edges, schedule,
-                          flow=flow)
+    with span("dependence"):
+        flow = flow_edges(comp) if comp.name else []
+        anti = anti_edges(comp, old_array)
+        edges = flow + anti
+    with span("schedule"):
+        schedule = schedule_comp(comp, edges, allow_node_splitting=True)
+    with span("parallelism"):
+        report = _base_report(comp, collision, empties, edges, schedule,
+                              flow=flow)
     if not schedule.ok:
         raise CompileError(
             "cannot schedule in-place update: "
             + "; ".join(schedule.failures)
         )
-    plan = plan_inplace(
-        comp,
-        old_array,
-        schedule.clause_directions(),
-        schedule.clause_positions(),
-    )
+    with span("inplace-plan"):
+        plan = plan_inplace(
+            comp,
+            old_array,
+            schedule.clause_directions(),
+            schedule.clause_positions(),
+        )
     report.inplace_plan = plan
     if plan.mode == "whole_copy":
         report.strategy = "inplace-copy"
@@ -522,10 +575,13 @@ def _compile_inplace_parts(
     from repro.codegen.exprs import CodegenError
 
     try:
-        source = emit_inplace(comp, schedule, plan, report.checks, params)
+        with span("codegen"):
+            source = emit_inplace(comp, schedule, plan, report.checks,
+                                  params)
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
-    return CompiledComp(source, report)
+    with span("exec"):
+        return CompiledComp(source, report)
 
 
 # ----------------------------------------------------------------------
@@ -567,6 +623,7 @@ def compile(
     old_array: Optional[str] = None,
     force_strategy: Optional[str] = None,
     cache=None,
+    explain: bool = False,
 ) -> CompiledComp:
     """Compile an array definition — the single public entry point.
 
@@ -595,7 +652,33 @@ def compile(
         in-memory service, a directory path for a persistent cache, or
         a :class:`~repro.service.service.CompileService`.  Covers
         every strategy.
+    explain:
+        Attach the decision trace (an
+        :class:`~repro.obs.explain.Explanation`) to the result's
+        ``explanation`` attribute — *why* each schedule/in-place/
+        vectorize/parallel decision was taken or rejected.
     """
+    compiled = _compile_dispatch(
+        src, strategy=strategy, params=params, options=options,
+        old_array=old_array, force_strategy=force_strategy, cache=cache,
+    )
+    if explain:
+        from repro.obs.explain import explain_report
+
+        compiled.explanation = explain_report(compiled.report)
+    return compiled
+
+
+def _compile_dispatch(
+    src,
+    *,
+    strategy: str,
+    params: Optional[Dict[str, int]],
+    options: Optional[CodegenOptions],
+    old_array: Optional[str],
+    force_strategy: Optional[str],
+    cache,
+) -> CompiledComp:
     if strategy not in STRATEGIES:
         raise CompileError(
             f"unknown strategy {strategy!r}; expected one of "

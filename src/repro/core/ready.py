@@ -14,7 +14,7 @@ so the cost is ``O(max(|V|, |E|))`` like plain DFS.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Set
+from typing import Hashable, Set
 
 from repro.core.graph import Digraph
 

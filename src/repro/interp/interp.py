@@ -30,7 +30,6 @@ from repro.interp.values import (
     Cons,
     haskell_list,
     iter_list,
-    python_list,
 )
 from repro.lang import ast
 from repro.lang.parser import parse_expr, parse_program

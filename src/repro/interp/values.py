@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.runtime.thunks import Thunk, force
+from repro.runtime.thunks import force
 
 
 class _Nil:

@@ -1,0 +1,261 @@
+"""Machine-readable benchmark results and the CI regression gate.
+
+The benchmark harness (``benchmarks/conftest.py``) funnels every
+pytest-benchmark run through :class:`BenchSuite`, which writes one
+normalized ``BENCH_<host>.json`` per run: schema version, host tag,
+fast-mode flag, and one :class:`BenchRecord` per benchmark (kernel,
+size, strategy, median ns, allocation counters, speedup ratios).
+
+``python -m repro bench-check baseline.json current.json --tolerance
+0.25`` re-loads two such files and exits nonzero when any benchmark's
+median regressed beyond the tolerance (or a speedup ratio shrank
+beyond it) — the gate CI runs against the committed
+``benchmarks/baseline_ci.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Environment overrides for the emitter.
+HOST_ENV = "REPRO_BENCH_HOST"
+DIR_ENV = "REPRO_BENCH_DIR"
+EMIT_ENV = "REPRO_BENCH_JSON"
+
+
+def default_host() -> str:
+    """The ``<host>`` tag for ``BENCH_<host>.json`` file names."""
+    host = os.environ.get(HOST_ENV) or platform.node() or "local"
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", host)
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's normalized result."""
+
+    key: str                 # unique id (pytest nodeid for the harness)
+    experiment: str = ""     # benchmark group, e.g. 'E18-wavefront'
+    kernel: str = ""
+    n: Optional[int] = None
+    strategy: str = ""
+    median_ns: Optional[float] = None
+    mean_ns: Optional[float] = None
+    min_ns: Optional[float] = None
+    rounds: Optional[int] = None
+    #: ALLOC_STATS-style counters attributed to this benchmark.
+    allocations: Optional[Dict[str, int]] = None
+    #: Named higher-is-better ratios (speedups) asserted by the bench.
+    ratios: Dict[str, float] = field(default_factory=dict)
+    extra: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"key": self.key}
+        for name in ("experiment", "kernel", "strategy"):
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        for name in ("n", "median_ns", "mean_ns", "min_ns", "rounds"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.allocations is not None:
+            out["allocations"] = dict(self.allocations)
+        if self.ratios:
+            out["ratios"] = dict(self.ratios)
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BenchRecord":
+        known = set(cls.__dataclass_fields__)
+        kwargs = {k: v for k, v in data.items() if k in known}
+        unknown = {k: v for k, v in data.items() if k not in known}
+        record = cls(**kwargs)
+        if unknown:
+            record.extra.update(unknown)
+        return record
+
+
+class BenchSuite:
+    """A run's worth of :class:`BenchRecord` entries."""
+
+    def __init__(self, host: Optional[str] = None,
+                 fast: Optional[bool] = None):
+        self.host = host or default_host()
+        self.fast = bool(os.environ.get("REPRO_BENCH_FAST")) \
+            if fast is None else fast
+        self.records: List[BenchRecord] = []
+
+    def add(self, record: Optional[BenchRecord] = None,
+            **kwargs) -> BenchRecord:
+        """Append a record (or build one from keyword fields)."""
+        if record is None:
+            record = BenchRecord(**kwargs)
+        self.records.append(record)
+        return record
+
+    def by_key(self) -> Dict[str, BenchRecord]:
+        return {record.key: record for record in self.records}
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "host": self.host,
+            "fast": self.fast,
+            "records": sorted(
+                (record.to_dict() for record in self.records),
+                key=lambda entry: entry["key"],
+            ),
+        }
+
+    def write(self, directory: Optional[str] = None) -> str:
+        """Write ``BENCH_<host>.json``; returns the path written."""
+        directory = directory or os.environ.get(DIR_ENV) or "."
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.host}.json")
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "BenchSuite":
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench schema {data.get('schema')!r} "
+                f"(this build reads schema {SCHEMA_VERSION})"
+            )
+        suite = cls(host=data.get("host", "unknown"),
+                    fast=bool(data.get("fast")))
+        for entry in data.get("records", []):
+            suite.add(BenchRecord.from_dict(entry))
+        return suite
+
+    @classmethod
+    def load(cls, path: str) -> "BenchSuite":
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))
+
+    # -- pytest-benchmark bridge ---------------------------------------
+
+    @classmethod
+    def from_pytest_benchmarks(cls, benchmarks) -> "BenchSuite":
+        """Normalize a pytest-benchmark session's fixture results.
+
+        Reads only stable attributes (``fullname``, ``group``,
+        ``stats``, ``extra_info``) and skips entries without stats
+        (``--benchmark-disable`` runs).
+        """
+        suite = cls()
+        for bench in benchmarks:
+            stats = getattr(bench, "stats", None)
+            stats = getattr(stats, "stats", stats)  # Metadata wrapper
+            median = getattr(stats, "median", None)
+            if median is None:
+                continue
+            key = str(getattr(bench, "fullname", "")
+                      or getattr(bench, "name", "unknown"))
+            extra = dict(getattr(bench, "extra_info", None) or {})
+            suite.add(
+                key=key.replace(os.sep, "/"),
+                experiment=str(getattr(bench, "group", "") or ""),
+                kernel=str(extra.pop("kernel", "")),
+                n=extra.pop("n", None),
+                strategy=str(extra.pop("strategy", "")),
+                median_ns=median * 1e9,
+                mean_ns=(getattr(stats, "mean", None) or 0.0) * 1e9
+                or None,
+                min_ns=(getattr(stats, "min", None) or 0.0) * 1e9
+                or None,
+                rounds=getattr(stats, "rounds", None),
+                allocations=extra.pop("allocations", None),
+                ratios=dict(extra.pop("ratios", {}) or {}),
+                extra=extra,
+            )
+        return suite
+
+
+# ----------------------------------------------------------------------
+# The regression gate.
+
+
+def check(baseline: BenchSuite, current: BenchSuite,
+          tolerance: float = 0.25,
+          allow_missing: bool = False) -> Tuple[List[str], List[str]]:
+    """Compare two suites; returns ``(problems, notes)``.
+
+    A benchmark regresses when its median grew beyond ``baseline *
+    (1 + tolerance)`` or any shared speedup ratio shrank below
+    ``baseline / (1 + tolerance)``.  A baseline key missing from the
+    current run is a problem too (a silently dropped benchmark reads
+    as "no regression" otherwise) unless ``allow_missing``.
+    """
+    problems: List[str] = []
+    notes: List[str] = []
+    current_by_key = current.by_key()
+    for base in sorted(baseline.records, key=lambda r: r.key):
+        cur = current_by_key.get(base.key)
+        if cur is None:
+            line = f"missing from current run: {base.key}"
+            (notes if allow_missing else problems).append(line)
+            continue
+        if base.median_ns and cur.median_ns:
+            limit = base.median_ns * (1.0 + tolerance)
+            ratio = cur.median_ns / base.median_ns
+            if cur.median_ns > limit:
+                problems.append(
+                    f"regression: {base.key} median "
+                    f"{cur.median_ns / 1e6:.3f}ms vs baseline "
+                    f"{base.median_ns / 1e6:.3f}ms "
+                    f"({ratio:.2f}x > 1+{tolerance:g})"
+                )
+            else:
+                notes.append(
+                    f"ok: {base.key} median {ratio:.2f}x of baseline"
+                )
+        for name, base_ratio in base.ratios.items():
+            cur_ratio = cur.ratios.get(name)
+            if cur_ratio is None or base_ratio <= 0:
+                continue
+            if cur_ratio < base_ratio / (1.0 + tolerance):
+                problems.append(
+                    f"regression: {base.key} ratio {name} "
+                    f"{cur_ratio:.2f} vs baseline {base_ratio:.2f}"
+                )
+    extra = set(current_by_key) - {r.key for r in baseline.records}
+    for key in sorted(extra):
+        notes.append(f"new benchmark (no baseline): {key}")
+    return problems, notes
+
+
+def bench_check(baseline_path: str, current_path: str,
+                tolerance: float = 0.25,
+                allow_missing: bool = False) -> int:
+    """Load, compare, print; returns the process exit code."""
+    baseline = BenchSuite.load(baseline_path)
+    current = BenchSuite.load(current_path)
+    problems, notes = check(baseline, current, tolerance=tolerance,
+                            allow_missing=allow_missing)
+    print(f"bench-check: {len(baseline.records)} baseline record(s) "
+          f"[{baseline.host}] vs {len(current.records)} current "
+          f"[{current.host}], tolerance {tolerance:g}")
+    for line in notes:
+        print(f"  {line}")
+    for line in problems:
+        print(f"  FAIL {line}")
+    if problems:
+        print(f"bench-check: {len(problems)} problem(s)")
+        return 1
+    print("bench-check: ok")
+    return 0

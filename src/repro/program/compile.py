@@ -25,7 +25,6 @@ rejection is recorded instead of silently degrading.
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.comprehension.build import BuildError, find_array_comp
@@ -41,6 +40,7 @@ from repro.core.pipeline import CompileError
 from repro.lang import ast
 from repro.lang.errors import ParseError
 from repro.lang.parser import parse_expr, parse_program
+from repro.obs.trace import count, span, span_timings, trace_scope
 from repro.program.iterate import (
     IterateShapeError,
     IterateSpec,
@@ -105,8 +105,17 @@ def compile_program(
             src, params=params, options=options, result=result
         )
 
-    started = perf_counter()
-    binds = parse_program(src) if isinstance(src, str) else list(src)
+    with trace_scope("compile-program") as scope:
+        program = _compile_program_traced(src, params, options, result)
+    program.report.trace = scope
+    program.report.timings = span_timings(scope)
+    return program
+
+
+def _compile_program_traced(src, params, options, result
+                            ) -> CompiledProgram:
+    with span("parse"):
+        binds = parse_program(src) if isinstance(src, str) else list(src)
     if not binds:
         raise CompileError("empty program: no bindings to compile")
     _reject_duplicates(binds)
@@ -120,11 +129,12 @@ def compile_program(
         )
 
     kinds, extras = _classify_all(binds)
-    graph = dependence_graph(binds)
-    try:
-        order = topo_order(binds, graph)
-    except ProgramCycleError as exc:
-        raise CompileError(str(exc)) from exc
+    with span("liveness"):
+        graph = dependence_graph(binds)
+        try:
+            order = topo_order(binds, graph)
+        except ProgramCycleError as exc:
+            raise CompileError(str(exc)) from exc
 
     live = reachable(graph, result)
     schedule = [name for name in order if name in live]
@@ -149,8 +159,13 @@ def compile_program(
         last=last, protected=protected, params=params, options=options,
         report=report,
     )
-    steps = [state.compile_binding(name) for name in schedule]
-    report.timings["total"] = perf_counter() - started
+    steps = []
+    for name in schedule:
+        with span(f"binding:{name}"):
+            steps.append(state.compile_binding(name))
+    count("program.bindings", len(schedule))
+    count("program.reuse.accepted", len(report.reuse_edges))
+    count("program.reuse.rejected", len(report.fallbacks))
     return CompiledProgram(steps, report, params)
 
 

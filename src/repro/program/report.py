@@ -75,8 +75,11 @@ class ProgramReport:
     iterate: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per program pass (consumed by the service
-    #: metrics like the single-definition Report.timings).
+    #: metrics like the single-definition Report.timings).  Derived
+    #: from :attr:`trace` when the program compiled under tracing.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: The sealed compile-scope :class:`~repro.obs.trace.Span`.
+    trace: Optional[object] = None
 
     def binding(self, name: str) -> BindingInfo:
         """The :class:`BindingInfo` for ``name`` (KeyError if absent)."""

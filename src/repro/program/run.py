@@ -21,12 +21,13 @@ round-trip whole programs through its disk tier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.codegen.compile import CompiledComp
 from repro.codegen.support import FlatArray, alloc_buffer, flatten_input
 from repro.lang import ast
+from repro.obs.trace import count_runtime
 from repro.program.iterate import CONVERGE_CAP, max_abs_diff
 from repro.program.report import ProgramReport
 
@@ -124,7 +125,6 @@ def _execute(program: CompiledProgram, env: Dict,
              steps_override: Optional[int],
              tol_override: Optional[float]):
     from repro.interp.interp import Interpreter, deep_force
-    from repro.runtime.thunks import force
 
     merged = dict(program.params)
     merged.update(env)
@@ -252,13 +252,15 @@ def _sweep_inplace(plan: IteratePlan, env: Dict, kind: str, control,
     if kind == "steps":
         for _ in range(control):
             plan.step({**env, plan.param: current})
+        count_runtime("iterate.sweeps.inplace", control)
         return current
     alloc_buffer(len(current.cells))
     shadow = list(current.cells)
-    for _ in range(CONVERGE_CAP):
+    for sweep in range(CONVERGE_CAP):
         shadow[:] = current.cells
         plan.step({**env, plan.param: current})
         if max_abs_diff(current.cells, shadow) <= control:
+            count_runtime("iterate.sweeps.inplace", sweep + 1)
             return current
     raise ProgramError(
         f"converge: no fixpoint within {CONVERGE_CAP} sweeps "
@@ -283,6 +285,8 @@ def _sweep_double(plan: IteratePlan, env: Dict, kind: str, control,
         call_env[plan.param] = previous
         if plan.reuse_buffers and spare is not None:
             call_env[".reuse"] = spare
+            count_runtime("iterate.buffers.recycled")
+        count_runtime("iterate.sweeps.double")
         stepped = plan.step(call_env)
         converged = (
             kind == "until"

@@ -96,6 +96,9 @@ class ServiceMetrics:
         self.hit_time = Histogram()
         self.pass_seconds: Dict[str, float] = defaultdict(float)
         self.pass_counts: Dict[str, int] = defaultdict(int)
+        #: Hit count per store tier name (open-ended: new tiers show
+        #: up here without a schema change).
+        self.tier_hits: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
 
@@ -106,6 +109,7 @@ class ServiceMetrics:
                 self.disk_hits += 1
             else:
                 self.memory_hits += 1
+            self.tier_hits[tier or "memory"] += 1
             self.hit_time.observe(seconds)
 
     def record_miss(self, seconds: float,
@@ -146,6 +150,14 @@ class ServiceMetrics:
                 "batches": self.batches,
                 "batch_requests": self.batch_requests,
                 "hit_rate": (self.hits / requests) if requests else 0.0,
+                "tiers": {
+                    tier: {
+                        "hits": count,
+                        "share": (count / self.hits) if self.hits
+                        else 0.0,
+                    }
+                    for tier, count in sorted(self.tier_hits.items())
+                },
                 "compile_time": self.compile_time.stats(),
                 "hit_time": self.hit_time.stats(),
                 "passes": {

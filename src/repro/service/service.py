@@ -29,6 +29,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.codegen.compile import CompiledComp
+from repro.obs.trace import count as _trace_count
 from repro.service.fingerprint import PIPELINE_SALT, _options_key
 from repro.service.fingerprint import fingerprint as _fingerprint
 
@@ -206,6 +207,7 @@ class CompileService:
         compiled, tier = self.store.get(key)
         if compiled is not None:
             self.metrics.record_hit(tier, perf_counter() - started)
+            _trace_count(f"service.hit.{tier or 'memory'}")
             return compiled
 
         with self._lock:
@@ -216,6 +218,7 @@ class CompileService:
                 self._inflight[key] = future
         if not leader:
             self.metrics.record_coalesced()
+            _trace_count("service.coalesced")
             return future.result()
 
         try:
@@ -226,6 +229,7 @@ class CompileService:
             self.metrics.record_miss(
                 elapsed, getattr(compiled.report, "timings", None)
             )
+            _trace_count("service.miss")
             future.set_result(compiled)
             return compiled
         except BaseException as exc:

@@ -8,7 +8,6 @@ from repro.comprehension.build import (
     find_array_comp,
 )
 from repro.comprehension.loopir import LoopNest, SVClause
-from repro.core.affine import Affine
 from repro.lang.parser import parse_expr
 
 

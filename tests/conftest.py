@@ -1,0 +1,29 @@
+"""Shared pytest configuration for the test suite.
+
+Registers hypothesis settings profiles when hypothesis is installed:
+
+* ``nightly`` — the raised budget the scheduled CI workflow runs with
+  (``HYPOTHESIS_PROFILE=nightly``): more examples, no deadline, so
+  slow shrinks never flake the cron job.
+
+A profile is only *loaded* when ``HYPOTHESIS_PROFILE`` names it;
+plain local runs keep hypothesis's defaults.
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # hypothesis-free environments still run the rest
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "nightly",
+        max_examples=300,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if profile:
+        settings.load_profile(profile)

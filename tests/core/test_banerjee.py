@@ -6,7 +6,6 @@ computed by vertex enumeration equal the true min/max of
 therefore the test is a sound necessary condition for dependence.
 """
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro import analyze
 from repro.core.parallel import (
-    analyze_parallelism,
     dependence_distances,
     find_hyperplane,
 )

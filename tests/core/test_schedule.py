@@ -3,7 +3,6 @@
 from repro.comprehension.build import build_array_comp, find_array_comp
 from repro.core.dependence import anti_edges, flow_edges
 from repro.core.schedule import (
-    Schedule,
     ScheduledClause,
     ScheduledLoop,
     schedule_comp,

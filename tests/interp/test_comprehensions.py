@@ -1,6 +1,5 @@
 """Interpreter comprehension semantics, incl. nested comprehensions."""
 
-import pytest
 
 from repro.interp import evaluate
 

@@ -1,0 +1,174 @@
+"""Bench JSON schema round-trip and the bench-check regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchSuite,
+    bench_check,
+    check,
+    default_host,
+)
+
+
+def make_suite(**medians):
+    suite = BenchSuite(host="test", fast=True)
+    for key, median_ns in medians.items():
+        suite.add(key=key, experiment="E0", kernel="k", n=8,
+                  strategy="thunkless", median_ns=median_ns,
+                  ratios={"speedup": 3.0})
+    return suite
+
+
+class TestSchema:
+    def test_round_trip(self):
+        suite = make_suite(a=1000.0, b=2000.0)
+        suite.records[0].allocations = {"arrays_allocated": 2}
+        blob = json.dumps(suite.to_json())
+        clone = BenchSuite.from_json(json.loads(blob))
+        assert clone.host == "test" and clone.fast is True
+        assert {r.key for r in clone.records} == {"a", "b"}
+        a = clone.by_key()["a"]
+        assert a.median_ns == 1000.0
+        assert a.allocations == {"arrays_allocated": 2}
+        assert a.ratios == {"speedup": 3.0}
+        assert a.n == 8 and a.strategy == "thunkless"
+
+    def test_records_sorted_by_key(self):
+        suite = make_suite(z=1.0, a=2.0, m=3.0)
+        keys = [r["key"] for r in suite.to_json()["records"]]
+        assert keys == sorted(keys)
+
+    def test_unknown_fields_preserved_in_extra(self):
+        record = BenchRecord.from_dict(
+            {"key": "a", "median_ns": 1.0, "future_field": 42}
+        )
+        assert record.extra == {"future_field": 42}
+        assert record.to_dict()["extra"] == {"future_field": 42}
+
+    def test_schema_version_enforced(self):
+        with pytest.raises(ValueError, match="schema"):
+            BenchSuite.from_json({"schema": SCHEMA_VERSION + 1,
+                                  "records": []})
+
+    def test_write_and_load(self, tmp_path):
+        suite = make_suite(a=1000.0)
+        path = suite.write(str(tmp_path))
+        assert path.endswith("BENCH_test.json")
+        clone = BenchSuite.load(path)
+        assert clone.by_key()["a"].median_ns == 1000.0
+
+    def test_default_host_sanitized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HOST", "ci runner/01")
+        assert default_host() == "ci_runner_01"
+
+
+class TestCheck:
+    def test_identical_suites_pass(self):
+        base = make_suite(a=1000.0, b=2000.0)
+        problems, notes = check(base, make_suite(a=1000.0, b=2000.0))
+        assert problems == []
+        assert len(notes) == 2
+
+    def test_regression_beyond_tolerance_fails(self):
+        base = make_suite(a=1000.0)
+        problems, _ = check(base, make_suite(a=2000.0), tolerance=0.25)
+        assert len(problems) == 1
+        assert "regression" in problems[0]
+
+    def test_within_tolerance_passes(self):
+        base = make_suite(a=1000.0)
+        problems, _ = check(base, make_suite(a=1200.0), tolerance=0.25)
+        assert problems == []
+
+    def test_missing_key_is_a_problem(self):
+        base = make_suite(a=1000.0, b=2000.0)
+        problems, _ = check(base, make_suite(a=1000.0))
+        assert any("missing" in p for p in problems)
+
+    def test_allow_missing_downgrades_to_note(self):
+        base = make_suite(a=1000.0, b=2000.0)
+        problems, notes = check(base, make_suite(a=1000.0),
+                                allow_missing=True)
+        assert problems == []
+        assert any("missing" in n for n in notes)
+
+    def test_shrunk_ratio_fails(self):
+        base = make_suite(a=1000.0)
+        current = make_suite(a=1000.0)
+        current.records[0].ratios["speedup"] = 1.5  # was 3.0
+        problems, _ = check(base, current, tolerance=0.25)
+        assert any("ratio" in p for p in problems)
+
+    def test_new_benchmark_is_a_note(self):
+        base = make_suite(a=1000.0)
+        problems, notes = check(base, make_suite(a=1000.0, c=5.0))
+        assert problems == []
+        assert any("no baseline" in n for n in notes)
+
+
+class TestBenchCheckCli:
+    def write(self, tmp_path, name, suite):
+        path = tmp_path / name
+        path.write_text(json.dumps(suite.to_json()))
+        return str(path)
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_suite(a=1000.0))
+        assert bench_check(base, base) == 0
+        assert "bench-check: ok" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_2x_slowdown(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_suite(a=1000.0))
+        slow = self.write(tmp_path, "slow.json", make_suite(a=2000.0))
+        assert bench_check(base, slow, tolerance=0.25) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        base = self.write(tmp_path, "base.json", make_suite(a=1000.0))
+        slow = self.write(tmp_path, "slow.json", make_suite(a=2000.0))
+        assert main(["bench-check", base, base]) == 0
+        capsys.readouterr()
+        assert main(["bench-check", base, slow,
+                     "--tolerance", "0.25"]) == 1
+        assert "regression" in capsys.readouterr().out
+        # generous tolerance forgives the same slowdown
+        assert main(["bench-check", base, slow,
+                     "--tolerance", "4.0"]) == 0
+
+
+class TestPytestBridge:
+    def test_from_pytest_benchmarks(self):
+        class Stats:
+            median = 0.001
+            mean = 0.0012
+            min = 0.0009
+            rounds = 7
+
+        class Bench:
+            fullname = "benchmarks/test_x.py::test_y"
+            group = "E18-wavefront"
+            stats = Stats()
+            extra_info = {"kernel": "SOR", "n": 64,
+                          "strategy": "thunkless",
+                          "ratios": {"speedup": 4.0}, "note": "x"}
+
+        class Disabled:
+            fullname = "benchmarks/test_x.py::test_skipped"
+            group = "E18-wavefront"
+            stats = None
+            extra_info = {}
+
+        suite = BenchSuite.from_pytest_benchmarks([Bench(), Disabled()])
+        [record] = suite.records
+        assert record.key == "benchmarks/test_x.py::test_y"
+        assert record.experiment == "E18-wavefront"
+        assert record.kernel == "SOR" and record.n == 64
+        assert record.median_ns == pytest.approx(1e6)
+        assert record.ratios == {"speedup": 4.0}
+        assert record.extra == {"note": "x"}

@@ -1,0 +1,153 @@
+"""Decision-trace golden tests: the explain layer tells the truth."""
+
+import json
+
+import repro
+from repro.kernels import (
+    PROGRAM_JACOBI_STEPS,
+    SOR,
+    SOR_MONOLITHIC,
+    WAVEFRONT_F,
+)
+from repro.obs.explain import (
+    ACCEPTED,
+    FALLBACK,
+    INFO,
+    REJECTED,
+    Decision,
+    Explanation,
+    explain,
+    explain_report,
+)
+
+#: One index write per iteration onto a fixed cell: collision CERTAIN.
+COLLIDING = "letrec* a = array (1,6) [ 3 := i | i <- [1..6] ] in a"
+
+
+def lines_for(explanation, area):
+    return [str(d) for d in explanation.by_area(area)]
+
+
+class TestExplanationShape:
+    def test_decision_rendering(self):
+        d = Decision("schedule", "loop i", ACCEPTED, "because")
+        assert str(d) == "[schedule] loop i: accepted — because"
+        assert d.to_dict()["verdict"] == ACCEPTED
+
+    def test_json_round_trip(self):
+        ex = explain(WAVEFRONT_F, params={"n": 6})
+        blob = json.dumps(ex.to_json())
+        data = json.loads(blob)
+        assert data["kind"] == "definition"
+        assert all(set(d) == {"area", "subject", "verdict", "reason"}
+                   for d in data["decisions"])
+
+    def test_render_groups_by_area(self):
+        ex = Explanation(kind="definition")
+        ex.add("schedule", "s", ACCEPTED, "r1")
+        ex.add("checks", "c", FALLBACK, "r2")
+        text = ex.render()
+        assert text.index("schedule:") < text.index("checks:")
+
+
+class TestSorInplaceGolden:
+    """SOR with old_array='u': §9 in-place accepted, and it says so."""
+
+    def test_inplace_accepted(self):
+        ex = explain(SOR, params={"n": 8, "omega": 1.0}, old_array="u")
+        [decision] = ex.by_area("inplace")
+        assert decision.verdict == ACCEPTED
+        assert "input's buffer" in decision.reason
+        [strategy] = ex.by_area("strategy")
+        assert strategy.verdict == ACCEPTED
+        assert "inplace" in strategy.reason
+
+    def test_schedule_directions_surface(self):
+        ex = explain(SOR, params={"n": 8, "omega": 1.0}, old_array="u")
+        [schedule] = ex.by_area("schedule")
+        assert schedule.verdict == ACCEPTED
+        assert "i forward" in schedule.reason
+
+    def test_matches_report_explanation(self):
+        compiled = repro.compile(SOR, strategy="inplace", old_array="u",
+                                 params={"n": 8, "omega": 1.0})
+        from_report = explain_report(compiled.report)
+        direct = explain(SOR, params={"n": 8, "omega": 1.0},
+                         old_array="u")
+        assert ([d.to_dict() for d in from_report.decisions]
+                == [d.to_dict() for d in direct.decisions])
+
+
+class TestCollisionRejectedGolden:
+    """A certain write collision is a *rejected* decision, not a crash."""
+
+    def test_rejection_with_reason(self):
+        ex = explain(COLLIDING)
+        [compile_decision] = ex.by_area("compile")
+        assert compile_decision.verdict == REJECTED
+        assert "collision" in compile_decision.reason
+        checks = {d.subject: d for d in ex.by_area("checks")}
+        assert checks["collisions"].verdict == REJECTED
+        assert "certain" in checks["collisions"].reason
+
+    def test_analysis_decisions_still_present(self):
+        """The rest of the story (schedule, vectorize) still renders."""
+        ex = explain(COLLIDING)
+        assert ex.by_area("schedule")
+        assert ex.by_area("vectorize")
+
+
+class TestMonolithicAndWavefront:
+    def test_sor_monolithic_covers_required_areas(self):
+        ex = explain(SOR_MONOLITHIC, params={"m": 8, "omega": 1.0})
+        for area in ("strategy", "schedule", "checks", "parallel"):
+            assert ex.by_area(area), area
+        assert any(d.verdict == REJECTED for d in ex.by_area("parallel"))
+
+    def test_wavefront_parallel_accepted(self):
+        ex = explain(WAVEFRONT_F, params={"n": 8},
+                     options=repro.CodegenOptions(parallel=True))
+        accepted = [d for d in ex.by_area("parallel")
+                    if d.verdict == ACCEPTED]
+        assert any("wavefront h=" in d.reason for d in accepted)
+        assert any("speedup bound" in d.reason for d in accepted)
+
+
+class TestProgramGolden:
+    def test_jacobi_program_decisions(self):
+        ex = explain(PROGRAM_JACOBI_STEPS, params={"m": 6, "k": 2})
+        assert ex.kind == "program"
+        [topo] = ex.by_area("compile")
+        assert "topo order" in topo.reason
+        [inplace] = ex.by_area("inplace")
+        assert inplace.verdict == REJECTED
+        assert "in-place sweeps rejected" in inplace.reason
+        assert any(d.verdict in (ACCEPTED, INFO)
+                   for d in ex.by_area("iterate"))
+
+    def test_program_reuse_edges_accepted(self):
+        src = """
+        a = array (1,40) [ i := i * i | i <- [1..40] ];
+        b = array (1,40) [ i := a!i + 1 | i <- [1..40] ]
+        """
+        ex = explain(src)
+        reuse = [d for d in ex.by_area("reuse")
+                 if d.verdict == ACCEPTED]
+        assert any("b <- a" in d.subject for d in reuse)
+
+    def test_per_binding_decisions_prefixed(self):
+        ex = explain(PROGRAM_JACOBI_STEPS, params={"m": 6, "k": 2})
+        subjects = [d.subject for d in ex.decisions]
+        assert any(s.startswith("u0: ") for s in subjects)
+
+
+class TestCompileExplainKwarg:
+    def test_compile_attaches_explanation(self):
+        compiled = repro.compile(WAVEFRONT_F, params={"n": 6},
+                                 explain=True)
+        assert isinstance(compiled.explanation, Explanation)
+        assert compiled.explanation.by_area("schedule")
+
+    def test_compile_without_kwarg_has_no_explanation(self):
+        compiled = repro.compile(WAVEFRONT_F, params={"n": 6})
+        assert not hasattr(compiled, "explanation")

@@ -20,11 +20,8 @@ from repro.core.liveness import (
 )
 from repro.kernels import (
     PROGRAM_CATALOG,
-    PROGRAM_JACOBI,
     PROGRAM_JACOBI_STEPS,
     PROGRAM_PIPELINE,
-    PROGRAM_SOR,
-    PROGRAM_SWAP,
 )
 from repro.lang import parse_program
 from repro.program import (

@@ -4,7 +4,7 @@ import pytest
 
 from repro.runtime.errors import BlackHoleError, UndefinedElementError
 from repro.runtime.force import force_elements, letrec_star
-from repro.runtime.nonstrict import NonStrictArray, recursive_array
+from repro.runtime.nonstrict import NonStrictArray
 from repro.runtime.strict import StrictArray
 
 

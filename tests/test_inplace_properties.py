@@ -9,7 +9,7 @@ the whole-copy fallback the planner chooses, the values must agree.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import CompileError, FlatArray, compile_array_inplace
+from repro import FlatArray, compile_array_inplace
 from repro.runtime import incremental
 
 

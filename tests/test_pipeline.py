@@ -5,7 +5,6 @@ import pytest
 from repro import (
     CodegenOptions,
     CompileError,
-    FlatArray,
     analyze,
     compile_array,
     compile_array_inplace,

@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     CodegenOptions,
-    CompileError,
     analyze,
     compile_array,
     compile_array_inplace,

@@ -1,7 +1,6 @@
 """Rendering of dependence graphs and schedules (repro.report)."""
 
 from repro import analyze
-from repro.core.dependence import ANTI, FLOW, OUTPUT, DepEdge
 from repro.comprehension.build import build_array_comp, find_array_comp
 from repro.core.dependence import anti_edges
 from repro.lang.parser import parse_expr

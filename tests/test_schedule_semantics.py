@@ -11,7 +11,6 @@ validates.
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.comprehension.build import build_array_comp, find_array_comp
