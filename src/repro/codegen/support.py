@@ -182,6 +182,37 @@ def make_slice(start: int, stride: int, count: int) -> slice:
     return slice(start, stop, stride)
 
 
+#: Process-wide executor shared by every parallel loop execution
+#: (building and tearing down a pool per nest costs more than the
+#: chunks themselves for small meshes).  Grown lazily: when a loop
+#: asks for more workers than the pool was built with, a larger pool
+#: replaces it and the old one drains its in-flight chunks.
+_PAR_POOL = None
+_PAR_POOL_WORKERS = 0
+_PAR_POOL_LOCK = None
+
+
+def _shared_pool(workers: int):
+    """The shared executor, sized to the max ``workers`` seen so far."""
+    global _PAR_POOL, _PAR_POOL_WORKERS, _PAR_POOL_LOCK
+    if _PAR_POOL_LOCK is None:
+        from threading import Lock
+
+        _PAR_POOL_LOCK = Lock()
+    with _PAR_POOL_LOCK:
+        if _PAR_POOL is None or workers > _PAR_POOL_WORKERS:
+            from concurrent.futures import ThreadPoolExecutor
+
+            old = _PAR_POOL
+            _PAR_POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-par"
+            )
+            _PAR_POOL_WORKERS = workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _PAR_POOL
+
+
 def par_chunks(body, start: int, stop: int, step: int,
                workers: int) -> None:
     """Run ``body(lo, hi)`` over contiguous chunks of an inclusive range.
@@ -190,8 +221,9 @@ def par_chunks(body, start: int, stop: int, step: int,
     loops that resist slice translation: the index range
     ``start, start+step, ..., stop`` is split into up to ``workers``
     balanced contiguous chunks and each chunk's ``body(lo, hi)`` runs
-    on its own pool thread (``body`` iterates ``range(lo, hi+1, step)``
-    itself).  Exceptions propagate after all chunks finish submitting.
+    on a shared process-wide pool thread (``body`` iterates
+    ``range(lo, hi+1, step)`` itself).  Exceptions propagate after all
+    chunks finish.
     """
     if step <= 0:
         raise ValueError("par_chunks requires a positive step")
@@ -205,8 +237,6 @@ def par_chunks(body, start: int, stop: int, step: int,
         return
     count_runtime("par_chunks.dispatched")
     count_runtime("par_chunks.chunks", workers)
-    from concurrent.futures import ThreadPoolExecutor
-
     base, extra = divmod(total, workers)
     chunks = []
     first = 0
@@ -218,10 +248,10 @@ def par_chunks(body, start: int, stop: int, step: int,
         hi = start + (first + count - 1) * step
         chunks.append((lo, hi))
         first += count
-    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-        futures = [pool.submit(body, lo, hi) for lo, hi in chunks]
-        for future in futures:
-            future.result()
+    pool = _shared_pool(len(chunks))
+    futures = [pool.submit(body, lo, hi) for lo, hi in chunks]
+    for future in futures:
+        future.result()
 
 
 def check_bounds(linear: int, size: int, subscript) -> None:

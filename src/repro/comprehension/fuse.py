@@ -1,0 +1,334 @@
+"""Clause substitution for cross-binding loop fusion (deforestation).
+
+Given a producer binding ``A = array bnds [ s := v | ... ]`` and a
+consumer binding ``B`` whose clauses read ``A`` only at subscripts the
+legality analysis (:mod:`repro.core.fusion`) proved *distance zero*
+after loop alignment, this module rewrites ``B``'s expression so every
+read ``A ! g(i)`` is replaced by ``v`` with the producer's index
+variables renamed onto the consumer's — the loop-level analogue of the
+expression-level deforestation in :mod:`repro.comprehension.deforest`.
+
+The rewrite is guard-aware (reads inside consumer guards and ``let``
+right-hand sides are substituted in place), capture-avoiding (producer
+``let`` binders are freshened; index renaming respects inner scopes),
+and duplication-aware: when one clause *value* reads the producer more
+than once — necessarily at the same aligned cell, since legality
+demands subscript identity — the producer's value is bound once via a
+non-recursive ``let`` instead of being recomputed per read site.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.comprehension.loopir import SVClause
+from repro.lang import ast
+
+
+class FuseError(Exception):
+    """The substitution cannot be performed soundly (legality should
+    have rejected the pair; this is the builder's own backstop)."""
+
+
+# ----------------------------------------------------------------------
+# Generic AST helpers.
+
+
+def bound_names(node: ast.Node) -> Set[str]:
+    """Every name bound *inside* ``node`` (lambda parameters, ``let``
+    binders, generator index variables) — the capture check's domain."""
+    out: Set[str] = set()
+    for sub in node.walk():
+        if isinstance(sub, ast.Lam):
+            out.update(sub.params)
+        elif isinstance(sub, ast.Binding):
+            out.add(sub.name)
+        elif isinstance(sub, ast.Generator):
+            out.add(sub.var)
+    return out
+
+
+def replace_nodes(node: ast.Node, mapping: Dict[int, ast.Node]) -> ast.Node:
+    """Rebuild ``node`` with every subtree whose ``id`` is in
+    ``mapping`` replaced wholesale (no descent into replacements)."""
+    if not isinstance(node, ast.Node):
+        return node
+    hit = mapping.get(id(node))
+    if hit is not None:
+        return hit
+    changes = {}
+    for fld in dataclasses.fields(node):
+        if fld.name == "pos":
+            continue
+        value = getattr(node, fld.name)
+        if isinstance(value, ast.Node):
+            fresh = replace_nodes(value, mapping)
+            if fresh is not value:
+                changes[fld.name] = fresh
+        elif isinstance(value, (list, tuple)):
+            rebuilt = [
+                replace_nodes(item, mapping)
+                if isinstance(item, ast.Node) else item
+                for item in value
+            ]
+            if any(a is not b for a, b in zip(rebuilt, value)):
+                changes[fld.name] = (
+                    rebuilt if isinstance(value, list) else tuple(rebuilt)
+                )
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def rename_vars(node: ast.Node, mapping: Dict[str, ast.Node]) -> ast.Node:
+    """Substitute free ``Var`` occurrences by expressions, scope-aware.
+
+    A binder (lambda parameter, ``let`` name, generator variable)
+    shadows its name for the subtree it scopes over; replacement
+    expressions are deep-copied per site so the output stays a tree.
+    """
+    if not mapping:
+        return node
+    if isinstance(node, ast.Var):
+        repl = mapping.get(node.name)
+        return copy.deepcopy(repl) if repl is not None else node
+    if isinstance(node, ast.Lam):
+        inner = {k: v for k, v in mapping.items() if k not in node.params}
+        return dataclasses.replace(node, body=rename_vars(node.body, inner))
+    if isinstance(node, ast.Let):
+        names = {b.name for b in node.binds}
+        inner = {k: v for k, v in mapping.items() if k not in names}
+        rhs_map = mapping if node.kind == "let" else inner
+        binds = [
+            dataclasses.replace(b, expr=rename_vars(b.expr, rhs_map))
+            for b in node.binds
+        ]
+        return dataclasses.replace(
+            node, binds=binds, body=rename_vars(node.body, inner)
+        )
+    if isinstance(node, (ast.Comp, ast.NestedComp)):
+        current = dict(mapping)
+        quals = []
+        for qual in node.quals:
+            if isinstance(qual, ast.Generator):
+                source = rename_vars(qual.source, current)
+                current.pop(qual.var, None)
+                quals.append(dataclasses.replace(qual, source=source))
+            elif isinstance(qual, ast.Guard):
+                quals.append(dataclasses.replace(
+                    qual, cond=rename_vars(qual.cond, current)
+                ))
+            elif isinstance(qual, ast.LetQual):
+                binds = [
+                    dataclasses.replace(
+                        b, expr=rename_vars(b.expr, current)
+                    )
+                    for b in qual.binds
+                ]
+                for bind in qual.binds:
+                    current.pop(bind.name, None)
+                quals.append(dataclasses.replace(qual, binds=binds))
+            else:
+                quals.append(qual)
+        if isinstance(node, ast.Comp):
+            return dataclasses.replace(
+                node, quals=quals, head=rename_vars(node.head, current)
+            )
+        return dataclasses.replace(
+            node, quals=quals, body=rename_vars(node.body, current)
+        )
+    changes = {}
+    for fld in dataclasses.fields(node):
+        if fld.name == "pos":
+            continue
+        value = getattr(node, fld.name)
+        if isinstance(value, ast.Node):
+            fresh = rename_vars(value, mapping)
+            if fresh is not value:
+                changes[fld.name] = fresh
+        elif isinstance(value, (list, tuple)):
+            rebuilt = [
+                rename_vars(item, mapping)
+                if isinstance(item, ast.Node) else item
+                for item in value
+            ]
+            if any(a is not b for a, b in zip(rebuilt, value)):
+                changes[fld.name] = (
+                    rebuilt if isinstance(value, list) else tuple(rebuilt)
+                )
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def _int_lit(node: ast.Node) -> bool:
+    return (isinstance(node, ast.Lit) and type(node.value) is int)
+
+
+def fold_index_arith(node: ast.Node) -> ast.Node:
+    """Fold integer constant arithmetic introduced by reindexing.
+
+    Loop alignment rewrites a producer subscript like ``p - 1`` into
+    ``(i + 1) - 1``; in a fused nest that extra add runs once per read
+    per cell.  Only exact integer +/-/* folds — float arithmetic is
+    left untouched so fused results stay bit-identical.
+    """
+    if not isinstance(node, ast.Node):
+        return node
+    changes = {}
+    for fld in dataclasses.fields(node):
+        if fld.name == "pos":
+            continue
+        value = getattr(node, fld.name)
+        if isinstance(value, ast.Node):
+            fresh = fold_index_arith(value)
+            if fresh is not value:
+                changes[fld.name] = fresh
+        elif isinstance(value, (list, tuple)):
+            rebuilt = [
+                fold_index_arith(item)
+                if isinstance(item, ast.Node) else item
+                for item in value
+            ]
+            if any(a is not b for a, b in zip(rebuilt, value)):
+                changes[fld.name] = (
+                    rebuilt if isinstance(value, list) else tuple(rebuilt)
+                )
+    if changes:
+        node = dataclasses.replace(node, **changes)
+    if not (isinstance(node, ast.BinOp) and node.op in ("+", "-", "*")):
+        return node
+    left, right = node.left, node.right
+    if _int_lit(left) and _int_lit(right):
+        ops = {"+": int.__add__, "-": int.__sub__, "*": int.__mul__}
+        return ast.Lit(value=ops[node.op](left.value, right.value))
+    if node.op in ("+", "-") and _int_lit(right):
+        # (x + a) ± b  ->  x + (a ± b);  (x - a) ± b  ->  x - (a ∓ b)
+        if (isinstance(left, ast.BinOp) and left.op in ("+", "-")
+                and _int_lit(left.right)):
+            a = left.right.value if left.op == "+" else -left.right.value
+            b = right.value if node.op == "+" else -right.value
+            total = a + b
+            if total == 0:
+                return left.left
+            return ast.BinOp(
+                op="+" if total > 0 else "-",
+                left=left.left, right=ast.Lit(value=abs(total)),
+            )
+        if right.value == 0:
+            return left
+    if node.op == "+" and _int_lit(left) and left.value == 0:
+        return right
+    return node
+
+
+def _fresh(base: str, avoid: Set[str]) -> str:
+    """A Python-identifier-safe name not in ``avoid``."""
+    counter = 0
+    name = f"{base}_f{counter}"
+    while name in avoid:
+        counter += 1
+        name = f"{base}_f{counter}"
+    avoid.add(name)
+    return name
+
+
+# ----------------------------------------------------------------------
+# The substitution proper.
+
+
+def build_replacement(
+    producer_clause: SVClause,
+    var_map: Dict[str, ast.Node],
+    avoid: Set[str],
+) -> ast.Node:
+    """The producer's value, renamed into the consumer's index space.
+
+    ``var_map`` maps the producer's original index names to consumer
+    expressions (``Var(i)`` or ``i + offset`` after loop alignment).
+    Producer clause ``let``s are freshened and nested (sequential
+    scoping, matching let-qualifier semantics) around the value.
+    """
+    mapping = dict(var_map)
+    out_lets: List[ast.Binding] = []
+    for bind in producer_clause.lets:
+        fresh = _fresh(bind.name, avoid)
+        rhs = rename_vars(bind.expr, mapping)
+        mapping[bind.name] = ast.Var(name=fresh)
+        out_lets.append(ast.Binding(name=fresh, params=[], expr=rhs))
+    body = rename_vars(producer_clause.value, mapping)
+    for bind in reversed(out_lets):
+        body = ast.Let(kind="let", binds=[bind], body=body)
+    return body
+
+
+def inline_producer(
+    consumer_bind: ast.Binding,
+    producer_name: str,
+    producer_clause: SVClause,
+    clause_plans: Iterable[Tuple[SVClause, Dict[str, ast.Node]]],
+) -> ast.Binding:
+    """Rewrite ``consumer_bind`` with every read of ``producer_name``
+    replaced by the producer's (renamed) value expression.
+
+    ``clause_plans`` pairs each consumer clause that reads the producer
+    with its index-variable map from the legality analysis.  Returns a
+    new :class:`~repro.lang.ast.Binding`; the input AST is not mutated.
+    """
+    avoid = (
+        ast.free_vars(consumer_bind.expr)
+        | bound_names(consumer_bind.expr)
+        | ast.free_vars(producer_clause.value)
+        | bound_names(producer_clause.value)
+    )
+    mapping: Dict[int, ast.Node] = {}
+    for clause, var_map in clause_plans:
+        reads = [r for r in clause.reads if r.array == producer_name]
+        if not reads:
+            raise FuseError(
+                f"{clause.label} was planned for fusion but reads "
+                f"{producer_name!r} nowhere"
+            )
+        value_ids = {id(sub) for sub in clause.value.walk()}
+        value_reads = [r for r in reads if id(r.node) in value_ids]
+        other_reads = [r for r in reads if id(r.node) not in value_ids]
+        for read in other_reads:
+            mapping[id(read.node)] = build_replacement(
+                producer_clause, var_map, avoid
+            )
+        if len(value_reads) >= 2:
+            # All aligned reads in one clause name the same producer
+            # cell (legality demands subscript identity with the one
+            # write); compute it once via a non-recursive let.
+            temp = _fresh(producer_name, avoid)
+            inner = {
+                id(r.node): ast.Var(name=temp) for r in value_reads
+            }
+            new_value = replace_nodes(clause.value, inner)
+            mapping[id(clause.value)] = ast.Let(
+                kind="let",
+                binds=[ast.Binding(
+                    name=temp, params=[],
+                    expr=build_replacement(
+                        producer_clause, var_map, avoid
+                    ),
+                )],
+                body=new_value,
+            )
+        elif value_reads:
+            mapping[id(value_reads[0].node)] = build_replacement(
+                producer_clause, var_map, avoid
+            )
+    new_expr = replace_nodes(consumer_bind.expr, mapping)
+    if new_expr is consumer_bind.expr:
+        raise FuseError(
+            f"no read of {producer_name!r} was found at the planned "
+            "AST sites (stale clause plan?)"
+        )
+    new_expr = fold_index_arith(new_expr)
+    return ast.Binding(
+        name=consumer_bind.name, params=[], expr=new_expr,
+        pos=consumer_bind.expr.pos,
+    )

@@ -22,16 +22,80 @@ was not affine and nothing could be proved.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.comprehension.loopir import ArrayComp, SVClause
 from repro.core.direction import DirVec, refine_directions, reverse
 from repro.core.subscripts import Reference, build_equations
+from repro.obs.trace import count
 
 FLOW = "flow"
 ANTI = "anti"
 OUTPUT = "output"
+
+# ----------------------------------------------------------------------
+# Per-run memoization of direction-refinement verdicts.
+#
+# Big clause lists — and especially fused nests, where a producer's
+# subscripts are stamped into many consumer read sites — present the
+# refinement search with the *same* equation system over and over.
+# The verdict depends only on the equations (coefficients, constants,
+# trip counts, shared-loop structure) and the verify_exact flag, so a
+# pipeline run can test each canonical system once.  The store is
+# thread-local and only active inside a `dependence_memo()` scope
+# (installed by pipeline.analyze / pipeline.compile / the program
+# compiler); direct calls to refine_directions are never memoized.
+
+_MEMO = threading.local()
+
+
+@contextmanager
+def dependence_memo():
+    """Memoize GCD/Banerjee/exact verdicts for this dynamic extent.
+
+    Scopes nest: an inner scope reuses the outer store, so one
+    pipeline run (which calls ``analyze`` from ``compile``) shares a
+    single memo.  Yields the store dict for introspection in tests.
+    """
+    prior = getattr(_MEMO, "store", None)
+    if prior is not None:
+        yield prior
+        return
+    _MEMO.store = store = {}
+    try:
+        yield store
+    finally:
+        _MEMO.store = None
+
+
+def _canonical_key(equations, verify_exact: bool):
+    """A hashable key capturing exactly what refinement consumes.
+
+    Loop identity is positional (first appearance across the equation
+    list), so alpha-renamed but structurally identical systems — the
+    common case across clauses of one nest — collide on purpose.
+    """
+    numbers = {}
+
+    def number(loop) -> int:
+        num = numbers.get(id(loop))
+        if num is None:
+            num = len(numbers)
+            numbers[id(loop)] = num
+        return num
+
+    return (
+        tuple(
+            (eq.constant, tuple(
+                (number(t.loop), t.a, t.b, t.count) for t in eq.terms
+            ))
+            for eq in equations
+        ),
+        verify_exact,
+    )
 
 
 @dataclass(frozen=True)
@@ -78,7 +142,20 @@ def _directions_between(
     first: Reference, second: Reference, verify_exact: bool
 ) -> set:
     equations = build_equations(first, second)
-    return refine_directions(equations, verify_exact=verify_exact)
+    store = getattr(_MEMO, "store", None)
+    if store is None:
+        return refine_directions(equations, verify_exact=verify_exact)
+    key = _canonical_key(equations, verify_exact)
+    verdict = store.get(key)
+    if verdict is None:
+        verdict = frozenset(
+            refine_directions(equations, verify_exact=verify_exact)
+        )
+        store[key] = verdict
+        count("dependence.memo.miss")
+    else:
+        count("dependence.memo.hit")
+    return verdict
 
 
 def _pessimistic_vector(first: SVClause, second: SVClause) -> DirVec:

@@ -52,7 +52,12 @@ from repro.core.collisions import (
     analyze_collisions,
     analyze_empties,
 )
-from repro.core.dependence import DepEdge, anti_edges, flow_edges
+from repro.core.dependence import (
+    DepEdge,
+    anti_edges,
+    dependence_memo,
+    flow_edges,
+)
 from repro.core.inplace import InPlacePlan, plan_inplace
 from repro.core.schedule import Schedule, schedule_comp
 from repro.lang import ast
@@ -191,7 +196,7 @@ def analyze(
     verify_exact: bool = True,
 ) -> Report:
     """Run analysis and scheduling without generating code."""
-    with ensure_trace("analyze") as trace:
+    with ensure_trace("analyze") as trace, dependence_memo():
         with span("parse"):
             expr = _parse(src)
         with span("build"):
@@ -658,10 +663,12 @@ def compile(
         ``explanation`` attribute — *why* each schedule/in-place/
         vectorize/parallel decision was taken or rejected.
     """
-    compiled = _compile_dispatch(
-        src, strategy=strategy, params=params, options=options,
-        old_array=old_array, force_strategy=force_strategy, cache=cache,
-    )
+    with dependence_memo():
+        compiled = _compile_dispatch(
+            src, strategy=strategy, params=params, options=options,
+            old_array=old_array, force_strategy=force_strategy,
+            cache=cache,
+        )
     if explain:
         from repro.obs.explain import explain_report
 

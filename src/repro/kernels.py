@@ -310,6 +310,29 @@ sweep u = letrec a = array ((1,1),(m,m))
 main = iterate sweep u0 k
 """
 
+#: A four-stage stencil pipeline for loop fusion (E21): ``img`` feeds
+#: a 5-point blur (reads at distance ±1, so it must materialize), then
+#: blur→scale→shift→clamp are pure distance-zero stages — scale reads
+#: the blur at a shifted origin (legal after loop alignment), clamp
+#: reads shift twice (bound once via ``let`` in the fused nest).
+#: Expected: one fused chain blur→scale→shift→main, two allocations
+#: instead of four.
+PROGRAM_STENCIL_CHAIN = """
+img = array ((1,1),(m,m))
+  [ (i,j) := 0.01 * (i * j) | i <- [1..m], j <- [1..m] ];
+blur = array ((2,2),(m-1,m-1))
+  [ (i,j) := 0.2 * (img!(i,j) + img!(i-1,j) + img!(i+1,j)
+                    + img!(i,j-1) + img!(i,j+1))
+  | i <- [2..m-1], j <- [2..m-1] ];
+scale = array ((1,1),(m-2,m-2))
+  [ (i,j) := blur!(i+1,j+1) * 1.5 | i <- [1..m-2], j <- [1..m-2] ];
+shift = array ((1,1),(m-2,m-2))
+  [ (i,j) := scale!(i,j) + 0.05 | i <- [1..m-2], j <- [1..m-2] ];
+main = array ((1,1),(m-2,m-2))
+  [ (i,j) := if shift!(i,j) > 0.9 then 0.9 else shift!(i,j)
+  | i <- [1..m-2], j <- [1..m-2] ]
+"""
+
 #: ``bigupd`` across bindings: the row swap's input array is
 #: program-allocated and dead after the update, so the defensive copy
 #: is elided and the swap mutates a0's storage directly.
@@ -334,6 +357,8 @@ PROGRAM_CATALOG: Dict[str, Dict] = {
                     "params": {"m": 8, "k": 5, "omega": 1.25}},
     "program_swap": {"source": PROGRAM_SWAP,
                      "params": {"m": 5, "n": 7, "r": 2, "s": 4}},
+    "program_stencil_chain": {"source": PROGRAM_STENCIL_CHAIN,
+                              "params": {"m": 10}},
 }
 
 

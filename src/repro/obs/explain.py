@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 
 #: Decision areas, in render order.
 AREAS = ("compile", "strategy", "schedule", "checks", "inplace",
-         "vectorize", "parallel", "reuse", "iterate", "note")
+         "vectorize", "parallel", "fuse", "reuse", "iterate", "note")
 
 ACCEPTED = "accepted"
 REJECTED = "rejected"
@@ -216,6 +216,8 @@ def explain_definition_report(report, prefix: str = "",
 
 
 def _fallback_area(text: str) -> str:
+    if text.startswith("fuse"):
+        return "fuse"
     if text.startswith("iterate"):
         return "inplace"
     return "reuse"
@@ -227,6 +229,9 @@ def explain_program_report(report) -> Explanation:
     out.add("compile", "program", INFO,
             "topo order: " + " -> ".join(report.order)
             + f"; result {report.result!r}")
+    for chain in report.fused:
+        out.add("fuse", f"{chain.host} <- {', '.join(chain.members)}",
+                ACCEPTED, str(chain))
     for edge in report.reuse_edges:
         out.add("reuse", f"{edge.consumer} <- {edge.producer}", ACCEPTED,
                 str(edge))

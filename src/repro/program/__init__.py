@@ -2,10 +2,11 @@
 
 The :func:`compile_program` entry point turns a ``parse_program``
 binding list into one :class:`CompiledProgram`: topologically
-scheduled, with §9 storage reuse threaded across bindings wherever
-liveness proves it safe, and with ``iterate``/``converge`` bindings
-driven by a convergence loop.  :class:`ProgramReport` records every
-decision.
+scheduled, with dependence-driven loop fusion collapsing dead
+producer comprehensions into their sole consumers, §9 storage reuse
+threaded across bindings wherever liveness proves it safe, and with
+``iterate``/``converge`` bindings driven by a convergence loop.
+:class:`ProgramReport` records every decision.
 """
 
 from repro.program.compile import as_program, compile_program
@@ -16,7 +17,12 @@ from repro.program.iterate import (
     find_iterate,
     max_abs_diff,
 )
-from repro.program.report import BindingInfo, ProgramReport, ReuseEdge
+from repro.program.report import (
+    BindingInfo,
+    FusedChain,
+    ProgramReport,
+    ReuseEdge,
+)
 from repro.program.run import (
     CompiledProgram,
     IteratePlan,
@@ -34,6 +40,7 @@ __all__ = [
     "IteratePlan",
     "BindingInfo",
     "ReuseEdge",
+    "FusedChain",
     "IterateSpec",
     "IterateShapeError",
     "find_iterate",

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.comprehension.build import BuildError, find_array_comp
 from repro.core import pipeline
+from repro.core.dependence import dependence_memo
 from repro.core.liveness import (
     ProgramCycleError,
     dependence_graph,
@@ -46,7 +47,12 @@ from repro.program.iterate import (
     IterateSpec,
     find_iterate,
 )
-from repro.program.report import BindingInfo, ProgramReport, ReuseEdge
+from repro.program.report import (
+    BindingInfo,
+    FusedChain,
+    ProgramReport,
+    ReuseEdge,
+)
 from repro.program.run import CompiledProgram, IteratePlan, ProgramStep
 
 
@@ -80,6 +86,7 @@ def compile_program(
     options=None,
     cache=None,
     result: Optional[str] = None,
+    fuse: bool = True,
 ) -> CompiledProgram:
     """Compile a whole program (string or parsed binding list).
 
@@ -97,22 +104,30 @@ def compile_program(
     result:
         The binding whose value the program returns; defaults to
         ``main`` when defined, else the last binding.
+    fuse:
+        Cross-binding loop fusion (default on): a dead single-consumer
+        producer comprehension whose reads are all provably distance
+        zero after loop alignment is inlined into its consumer and
+        never allocated.  ``False`` compiles every binding separately
+        (the pre-fusion behavior; the unfused baseline in benchmarks).
     """
     if cache is not None and cache is not False:
         from repro.service.service import resolve_cache
 
         return resolve_cache(cache).compile_program(
-            src, params=params, options=options, result=result
+            src, params=params, options=options, result=result,
+            fuse=fuse,
         )
 
-    with trace_scope("compile-program") as scope:
-        program = _compile_program_traced(src, params, options, result)
+    with trace_scope("compile-program") as scope, dependence_memo():
+        program = _compile_program_traced(src, params, options, result,
+                                          fuse)
     program.report.trace = scope
     program.report.timings = span_timings(scope)
     return program
 
 
-def _compile_program_traced(src, params, options, result
+def _compile_program_traced(src, params, options, result, fuse=True
                             ) -> CompiledProgram:
     with span("parse"):
         binds = parse_program(src) if isinstance(src, str) else list(src)
@@ -136,12 +151,43 @@ def _compile_program_traced(src, params, options, result
         except ProgramCycleError as exc:
             raise CompileError(str(exc)) from exc
 
+    fusion_edges: List[tuple] = []
+    fusion_rejects: Dict[tuple, str] = {}
+    if fuse:
+        with span("fusion"):
+            binds, fusion_edges, fusion_rejects = _fusion_pass(
+                binds, kinds, extras, result, params
+            )
+        if fusion_edges:
+            by_name = {bind.name: bind for bind in binds}
+            graph = dependence_graph(binds)
+            order = topo_order(binds, graph)
+    count("program.fused", len(fusion_edges))
+
     live = reachable(graph, result)
     schedule = [name for name in order if name in live]
     last = last_uses(schedule, graph)
     protected = _protected_names(result, schedule, kinds, extras, by_name)
 
     report = ProgramReport(order=list(schedule), result=result)
+    final_names = set(by_name)
+    for (consumer, producer), reason in fusion_rejects.items():
+        if consumer != "*" and consumer not in final_names:
+            continue
+        label = (f"fuse {producer} rejected" if consumer == "*"
+                 else f"fuse {consumer}<-{producer} rejected")
+        report.fallbacks.append(f"{label}: {reason}")
+    report.fused.extend(_fusion_chains(fusion_edges))
+    for producer, consumer, cells, reads in fusion_edges:
+        report.elided.append(
+            f"allocation of {cells} cells for {producer!r} elided: "
+            f"fused into {consumer!r} (never materialized)"
+        )
+        report.bindings.append(BindingInfo(
+            name=producer, kind="fused",
+            detail=f"inlined into {consumer!r} (distance-zero reads "
+                   "only; the intermediate array never materializes)",
+        ))
     for name in order:
         if name not in live:
             report.bindings.append(BindingInfo(
@@ -165,7 +211,14 @@ def _compile_program_traced(src, params, options, result
             steps.append(state.compile_binding(name))
     count("program.bindings", len(schedule))
     count("program.reuse.accepted", len(report.reuse_edges))
-    count("program.reuse.rejected", len(report.fallbacks))
+    count("program.reuse.rejected", len([
+        entry for entry in report.fallbacks
+        if not entry.startswith("fuse ")
+    ]))
+    count("program.fusion.rejected", len([
+        entry for entry in report.fallbacks
+        if entry.startswith("fuse ")
+    ]))
     return CompiledProgram(steps, report, params)
 
 
@@ -264,6 +317,134 @@ def _wrap(bind: ast.Binding) -> ast.Node:
                         pos=expr.pos)
     return ast.Let(kind="letrec*", binds=[inner],
                    body=ast.Var(bind.name, pos=expr.pos), pos=expr.pos)
+
+
+# ----------------------------------------------------------------------
+# Cross-binding loop fusion (dependence-driven deforestation).
+
+
+def _fusion_pass(binds, kinds, extras, result, params):
+    """Greedy topological fusion to a fixpoint.
+
+    Repeatedly finds a live producer comprehension with exactly one
+    live consumer, dead afterwards and legal to inline
+    (:func:`repro.core.fusion.plan_fusion`), rewrites the consumer with
+    the producer's value substituted
+    (:func:`repro.comprehension.fuse.inline_producer`), and drops the
+    producer from the binding list — so a 3-stage pointwise chain
+    collapses into one loop nest.  Returns ``(binds, edges, rejects)``
+    where ``edges`` are ``(producer, consumer, cells, reads)`` tuples
+    in application order and ``rejects`` maps candidate pairs to the
+    reason fusion was refused (every rejection is reasoned, like the
+    §9 reuse gates).
+    """
+    from repro.comprehension.fuse import FuseError, inline_producer
+    from repro.core.fusion import FusionReject, plan_fusion
+
+    binds = list(binds)
+    edges: List[tuple] = []
+    rejects: Dict[tuple, str] = {}
+    while True:
+        by_name = {bind.name: bind for bind in binds}
+        graph = dependence_graph(binds)
+        try:
+            order = topo_order(binds, graph)
+        except ProgramCycleError:
+            break  # the main path re-runs and raises the diagnostic
+        live = reachable(graph, result)
+        schedule = [name for name in order if name in live]
+        last = last_uses(schedule, graph)
+        protected = _protected_names(result, schedule, kinds, extras,
+                                     by_name)
+        applied = False
+        for producer in schedule:
+            pkind = kinds.get(producer)
+            if pkind not in ("array", "bigupd", "accum", "iterate"):
+                continue
+            consumers = [name for name in schedule
+                         if producer in graph.get(name, ())]
+            if not consumers:
+                continue
+            if len(consumers) > 1:
+                rejects[("*", producer)] = (
+                    f"{producer!r} has {len(consumers)} live consumers "
+                    f"({', '.join(sorted(consumers))}) — fusing would "
+                    "recompute it per consumer, so it must materialize"
+                )
+                continue
+            consumer = consumers[0]
+            key = (consumer, producer)
+            if kinds.get(consumer) != "array":
+                rejects[key] = (
+                    f"consumer {consumer!r} is not a plain array "
+                    f"comprehension (kind {kinds.get(consumer)!r})"
+                )
+                continue
+            if pkind != "array":
+                rejects[key] = (
+                    f"producer {producer!r} is a {pkind} binding — "
+                    "update-in-place/accumulation/convergence "
+                    "semantics cannot be inlined into a consumer "
+                    "clause"
+                )
+                continue
+            if producer in protected:
+                rejects[key] = (
+                    f"producer {producer!r} is (an alias of) the "
+                    f"program result — it stays live after "
+                    f"{consumer!r} and must materialize"
+                )
+                continue
+            if last.get(producer) != consumer:
+                rejects[key] = (
+                    f"producer {producer!r} is still read after "
+                    f"{consumer!r} (last reader: "
+                    f"{last.get(producer)!r})"
+                )
+                continue
+            try:
+                plan = plan_fusion(by_name[producer],
+                                   by_name[consumer], params)
+                fused = inline_producer(
+                    by_name[consumer], producer,
+                    plan.producer_clause, plan.clause_plans,
+                )
+            except (FusionReject, FuseError) as exc:
+                rejects[key] = str(exc)
+                continue
+            binds = [
+                fused if bind.name == consumer else bind
+                for bind in binds
+                if bind.name != producer
+            ]
+            edges.append((producer, consumer, plan.cells, plan.reads))
+            rejects.pop(key, None)
+            rejects.pop(("*", producer), None)
+            applied = True
+            break
+        if not applied:
+            break
+    return binds, edges, rejects
+
+
+def _fusion_chains(edges) -> List[FusedChain]:
+    """Group applied fusion edges into per-host chains for the report."""
+    fused_into = {producer: consumer for producer, consumer, _, _ in edges}
+    chains: Dict[str, FusedChain] = {}
+    hosts: List[str] = []
+    for producer, consumer, cells, reads in edges:
+        host = consumer
+        while host in fused_into:
+            host = fused_into[host]
+        chain = chains.get(host)
+        if chain is None:
+            chain = FusedChain(host=host, members=[])
+            chains[host] = chain
+            hosts.append(host)
+        chain.members.append(producer)
+        chain.cells += cells
+        chain.reads += reads
+    return [chains[host] for host in hosts]
 
 
 # ----------------------------------------------------------------------

@@ -22,7 +22,7 @@ class BindingInfo:
 
     name: str
     #: 'array' | 'inplace' | 'bigupd' | 'accum' | 'iterate' | 'scalar'
-    #: | 'function' | 'alias' | 'skipped'
+    #: | 'function' | 'alias' | 'skipped' | 'fused'
     kind: str
     #: Per-binding strategy string ('' for non-array bindings).
     strategy: str = ""
@@ -56,6 +56,33 @@ class ReuseEdge:
 
 
 @dataclass
+class FusedChain:
+    """One cross-binding fusion chain (deforestation at loop level).
+
+    ``members`` are the producers inlined away, in fusion order;
+    ``host`` is the surviving consumer whose single nest computes the
+    whole chain.  None of the members is ever allocated.
+    """
+
+    host: str
+    members: List[str]
+    #: Statically known cells whose allocation fusion elides (total
+    #: over all members; 0 when bounds were not static).
+    cells: int = 0
+    #: Read sites substituted by producer value expressions.
+    reads: int = 0
+
+    def __str__(self):
+        path = " -> ".join(self.members + [self.host])
+        cells = f", {self.cells} cells never allocated" if self.cells else ""
+        return (
+            f"{path}: {len(self.members)} producer(s) inlined into "
+            f"{self.host!r}'s loop nest ({self.reads} read site(s) "
+            f"substituted{cells})"
+        )
+
+
+@dataclass
 class ProgramReport:
     """Everything the program compiler decided."""
 
@@ -66,6 +93,10 @@ class ProgramReport:
     result: str = ""
     #: Cross-binding storage reuse: one edge per overwritten producer.
     reuse_edges: List[ReuseEdge] = field(default_factory=list)
+    #: Cross-binding loop fusion: one chain per surviving consumer
+    #: whose nest absorbed dead producers (dependence-driven
+    #: deforestation).
+    fused: List[FusedChain] = field(default_factory=list)
     #: Human-readable line per elided copy/allocation.
     elided: List[str] = field(default_factory=list)
     #: Reason strings for every fallback (reuse rejected, double-buffer
@@ -100,6 +131,8 @@ class ProgramReport:
                                  else "")
             detail = f" — {info.detail}" if info.detail else ""
             lines.append(f"binding {info.name}: {label}{detail}")
+        for chain in self.fused:
+            lines.append(f"fused: {chain}")
         for edge in self.reuse_edges:
             lines.append(f"reuse: {edge}")
         for entry in self.elided:

@@ -44,7 +44,9 @@ from repro.lang.parser import parse_expr
 #: /2: unified compile() facade, normalized reports, parallel backend.
 #: /3: program compiler, buffer-reuse codegen (the '.reuse' slot
 #:     changed every thunkless emitter's output).
-PIPELINE_SALT = "repro-pipeline/3"
+#: /4: cross-binding loop fusion (program plans may elide bindings, so
+#:     every cached program artifact predating the pass is stale).
+PIPELINE_SALT = "repro-pipeline/4"
 
 
 # ----------------------------------------------------------------------
@@ -324,6 +326,7 @@ def fingerprint_program(
     params: Optional[Dict] = None,
     options=None,
     result: Optional[str] = None,
+    fuse: bool = True,
     salt: str = PIPELINE_SALT,
 ) -> str:
     """SHA-256 cache key for one whole-program compilation request.
@@ -353,6 +356,7 @@ def fingerprint_program(
     parts = [
         f"salt={salt}",
         "mode=program",
+        f"fuse={bool(fuse)}",
         f"result={env.get(result, result)}",
         f"options={_options_key(options)}",
         f"params={sorted((params or {}).items())!r}",

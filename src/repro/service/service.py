@@ -158,7 +158,7 @@ class CompileService:
         return self._cached(key, build)
 
     def fingerprint_program(self, src, params=None, options=None,
-                            result=None) -> str:
+                            result=None, fuse=True) -> str:
         """The cache key this service would use for a whole program."""
         from repro.service.fingerprint import fingerprint_program
 
@@ -167,14 +167,14 @@ class CompileService:
             memo_key = (
                 "program", src,
                 repr(sorted((params or {}).items())),
-                _options_key(options), result,
+                _options_key(options), result, bool(fuse),
             )
             cached = self._fp_memo.get(memo_key)
             if cached is not None:
                 return cached
         key = fingerprint_program(
             src, params=params, options=options, result=result,
-            salt=self.salt,
+            fuse=fuse, salt=self.salt,
         )
         if memo_key is not None:
             with self._lock:
@@ -184,20 +184,20 @@ class CompileService:
         return key
 
     def compile_program(self, src, params=None, options=None,
-                        result=None):
+                        result=None, fuse=True):
         """Whole-program compile through the cache.
 
         Same store/in-flight discipline as :meth:`compile`;
         :class:`~repro.program.run.CompiledProgram` objects pickle
         through the disk tier like single definitions do.
         """
-        key = self.fingerprint_program(src, params, options, result)
+        key = self.fingerprint_program(src, params, options, result, fuse)
 
         def build():
             from repro.program.compile import compile_program
 
             return compile_program(src, params=params, options=options,
-                                   result=result)
+                                   result=result, fuse=fuse)
 
         return self._cached(key, build)
 

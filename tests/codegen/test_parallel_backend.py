@@ -15,6 +15,8 @@ Results must be *bit-identical* to the scalar schedule (numpy float64
 elementwise ops associate exactly like the emitted Python scalars).
 """
 
+import threading
+
 import pytest
 
 import repro
@@ -239,6 +241,39 @@ class TestParChunks:
     def test_rejects_nonpositive_step(self):
         with pytest.raises(ValueError):
             par_chunks(lambda lo, hi: None, 1, 10, 0, 2)
+
+    def test_shared_pool_is_reused_across_calls(self):
+        # One process-wide executor serves every parallel loop; a
+        # second dispatch at the same width must not build a new pool.
+        from repro.codegen import support
+
+        par_chunks(lambda lo, hi: None, 1, 100, 1, 3)
+        pool = support._PAR_POOL
+        assert pool is not None
+        par_chunks(lambda lo, hi: None, 1, 100, 1, 3)
+        assert support._PAR_POOL is pool
+        # Narrower requests reuse the wide pool too.
+        par_chunks(lambda lo, hi: None, 1, 100, 1, 2)
+        assert support._PAR_POOL is pool
+
+    def test_shared_pool_grows_to_max_workers_seen(self):
+        from repro.codegen import support
+
+        par_chunks(lambda lo, hi: None, 1, 100, 1, 2)
+        before = support._PAR_POOL_WORKERS
+        wider = before + 2
+        par_chunks(lambda lo, hi: None, 1, 100, 1, wider)
+        assert support._PAR_POOL_WORKERS == wider
+        # The grown pool still runs every chunk.
+        seen = []
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                seen.append((lo, hi))
+
+        par_chunks(body, 1, 100, 1, wider)
+        assert sum(hi - lo + 1 for lo, hi in seen) == 100
 
 
 class TestVectorizeInteraction:

@@ -155,3 +155,86 @@ class TestAntiEdges:
 
         comp = comp_of(SCALE_ROW, {"m": 5, "n": 6, "i": 3, "s": 2})
         assert anti_edges(comp, "a") == []
+
+
+class TestDependenceMemo:
+    def refs(self, count=100, offset=-1, var="i.0"):
+        from repro.core.affine import Affine
+        from repro.core.subscripts import LoopInfo, Reference
+
+        loop = LoopInfo(var, count)
+        write = Reference("a", (Affine(0, {var: 1}),), (loop,),
+                          is_write=True)
+        read = Reference("a", (Affine(offset, {var: 1}),), (loop,))
+        return write, read
+
+    def test_repeated_pair_returns_the_memoized_verdict(self):
+        from repro.core.dependence import (
+            _directions_between,
+            dependence_memo,
+        )
+
+        write, read = self.refs()
+        with dependence_memo() as store:
+            first = _directions_between(write, read, True)
+            second = _directions_between(write, read, True)
+            assert second is first  # the cached frozenset, not a copy
+            assert len(store) == 1
+        assert first == {("<",)}
+
+    def test_alpha_renamed_system_hits_the_same_entry(self):
+        # Canonicalization numbers loops positionally: a structurally
+        # identical pair over a different loop variable collides.
+        from repro.core.dependence import (
+            _directions_between,
+            dependence_memo,
+        )
+
+        with dependence_memo() as store:
+            _directions_between(*self.refs(var="i.0"), True)
+            _directions_between(*self.refs(var="j.0"), True)
+            assert len(store) == 1
+
+    def test_different_counts_and_flags_do_not_collide(self):
+        from repro.core.dependence import (
+            _directions_between,
+            dependence_memo,
+        )
+
+        with dependence_memo() as store:
+            _directions_between(*self.refs(count=100), True)
+            _directions_between(*self.refs(count=3), True)
+            _directions_between(*self.refs(count=100), False)
+            assert len(store) == 3
+
+    def test_no_caching_outside_a_scope(self):
+        from repro.core import dependence
+
+        write, read = self.refs()
+        assert getattr(dependence._MEMO, "store", None) is None
+        out = dependence._directions_between(write, read, True)
+        assert out == {("<",)}
+        assert getattr(dependence._MEMO, "store", None) is None
+
+    def test_scopes_nest_and_share_one_store(self):
+        from repro.core.dependence import dependence_memo
+
+        with dependence_memo() as outer:
+            with dependence_memo() as inner:
+                assert inner is outer
+
+    def test_verdicts_match_the_unmemoized_search(self):
+        # The memo must be invisible: every kernel's edge sets agree
+        # with a fresh (scope-free) computation.
+        from repro.core.dependence import dependence_memo
+        from repro.kernels import GAUSS_SEIDEL, STRIDE3_SCHEMATIC
+
+        for src, params in ((STRIDE3_SCHEMATIC, None),
+                            (GAUSS_SEIDEL, {"m": 10})):
+            comp = comp_of(src, params)
+            bare = edge_set(flow_edges(comp))
+            with dependence_memo():
+                memoized = edge_set(flow_edges(comp))
+                again = edge_set(flow_edges(comp))
+            assert memoized == bare
+            assert again == bare

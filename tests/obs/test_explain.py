@@ -125,15 +125,35 @@ class TestProgramGolden:
         assert any(d.verdict in (ACCEPTED, INFO)
                    for d in ex.by_area("iterate"))
 
-    def test_program_reuse_edges_accepted(self):
+    def test_program_fuse_edge_accepted(self):
+        # A distance-zero sole-consumer chain fuses outright: the
+        # producer is never allocated, so there is no reuse edge —
+        # the decision lands in the 'fuse' area instead.
         src = """
         a = array (1,40) [ i := i * i | i <- [1..40] ];
+        b = array (1,40) [ i := a!i + 1 | i <- [1..40] ]
+        """
+        ex = explain(src)
+        fused = [d for d in ex.by_area("fuse")
+                 if d.verdict == ACCEPTED]
+        assert any("b <- a" in d.subject for d in fused)
+        assert not [d for d in ex.by_area("reuse")
+                    if d.verdict == ACCEPTED]
+
+    def test_program_reuse_edges_accepted(self):
+        # A two-clause producer cannot fuse (recorded rejection), so
+        # §9 buffer reuse still fires and is explained as before.
+        src = """
+        a = array (1,40) ([ i := 1.0 * (i * i) | i <- [1..20] ]
+                       ++ [ i := 1.0 * i | i <- [21..40] ]);
         b = array (1,40) [ i := a!i + 1 | i <- [1..40] ]
         """
         ex = explain(src)
         reuse = [d for d in ex.by_area("reuse")
                  if d.verdict == ACCEPTED]
         assert any("b <- a" in d.subject for d in reuse)
+        assert any("2 clauses" in d.reason
+                   for d in ex.by_area("fuse"))
 
     def test_per_binding_decisions_prefixed(self):
         ex = explain(PROGRAM_JACOBI_STEPS, params={"m": 6, "k": 2})

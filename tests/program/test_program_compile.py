@@ -53,8 +53,14 @@ class TestScheduling:
         b = array (1,n) [ i := 1.0 * i | i <- [1..n] ]
         """
         prog = compile_program(src, params={"n": 5})
-        assert prog.report.order == ["b", "c", "main"]
+        # b fuses into c (distance zero, sole consumer), so the
+        # scheduled order is the post-fusion one.
+        assert prog.report.order == ["c", "main"]
         assert prog({"n": 5}).to_list() == [2.0, 3.0, 4.0, 5.0, 6.0]
+        # The pre-fusion topo order is still checkable with fuse off.
+        unfused = compile_program(src, params={"n": 5}, fuse=False)
+        assert unfused.report.order == ["b", "c", "main"]
+        assert unfused({"n": 5}).to_list() == prog({"n": 5}).to_list()
 
     def test_cycle_diagnostic_names_members(self):
         src = """
@@ -137,7 +143,17 @@ class TestLivenessUnits:
 class TestReuse:
     def test_pipeline_chain_one_allocation(self):
         spec = PROGRAM_CATALOG["program_pipeline"]
+        # Default path: b fuses into c (distance zero, sole
+        # consumer); x is a letrec recurrence and cannot fuse, so it
+        # takes c's dead buffer through §9 reuse as before.
         prog = compile_program(spec["source"], params=spec["params"])
+        edges = {(e.consumer, e.producer) for e in prog.report.reuse_edges}
+        assert edges == {("x", "c")}
+        assert [c.members for c in prog.report.fused] == [["b"]]
+        assert allocations(prog, spec["params"]) == 1
+        # With fusion off, the pre-fusion reuse chain is intact.
+        prog = compile_program(spec["source"], params=spec["params"],
+                               fuse=False)
         edges = {(e.consumer, e.producer) for e in prog.report.reuse_edges}
         assert edges == {("c", "b"), ("x", "c")}
         assert all(e.via == "inplace" for e in prog.report.reuse_edges)
@@ -151,7 +167,10 @@ class TestReuse:
         main = array (1,n) [ i := b!i + c!i | i <- [1..n] ]
         """
         params = {"n": 6}
-        prog = compile_program(src, params=params)
+        # With fusion on this diamond collapses entirely (c fuses
+        # into main, which leaves b with one consumer, which fuses
+        # too) — the reuse-blocking behaviour is a fuse=False fact.
+        prog = compile_program(src, params=params, fuse=False)
         # c cannot take b's buffer (b is read again by main) ...
         assert ("c", "b") not in {
             (e.consumer, e.producer) for e in prog.report.reuse_edges
@@ -163,6 +182,9 @@ class TestReuse:
         got = prog(dict(params))
         oracle = repro.run_program(src, bindings=dict(params))
         assert got.to_list() == oracle.to_list()
+        fused = compile_program(src, params=params)
+        assert [c.members for c in fused.report.fused] == [["c", "b"]]
+        assert fused(dict(params)).to_list() == got.to_list()
 
     def test_alias_protects_both_ends(self):
         src = """
@@ -404,6 +426,13 @@ class TestFacade:
         spec = PROGRAM_CATALOG["program_pipeline"]
         prog = compile_program(spec["source"], params=spec["params"])
         summary = prog.report.summary()
+        assert "topo order: c -> x -> main" in summary
+        assert "fused: b -> c" in summary
+        assert "reuse: x overwrites c" in summary
+        assert "elided" in summary
+        unfused = compile_program(spec["source"], params=spec["params"],
+                                  fuse=False)
+        summary = unfused.report.summary()
         assert "topo order: b -> c -> x -> main" in summary
         assert "reuse: c overwrites b" in summary
         assert "elided" in summary

@@ -292,14 +292,19 @@ class TestProgramCommands:
     def test_analyze_names_reuse(self, pipeline_file, capsys):
         assert main(["analyze", pipeline_file, "-p", "n=8"]) == 0
         out = capsys.readouterr().out
-        assert "reuse: c overwrites b" in out
+        # b now fuses into c, so the reuse edge moved to x <- c and
+        # the fused chain is reported alongside it.
+        assert "fused: b -> c" in out
+        assert "reuse: x overwrites c" in out
         assert "elided" in out
 
     def test_compile_prints_per_binding_sources(self, pipeline_file,
                                                 capsys):
         assert main(["compile", pipeline_file, "-p", "n=8"]) == 0
         out = capsys.readouterr().out
-        assert "# --- binding b ---" in out
+        # b is fused away — its loop body lives inside c's module.
+        assert "# --- binding b ---" not in out
+        assert "# --- binding c ---" in out
         assert "def _build(_env):" in out
 
     def test_iterate_on_expression_rejected(self, squares_file):
