@@ -1,0 +1,170 @@
+"""E22 (extension) — the native-C backend tier, measured.
+
+The workload is the two in-place solvers on an m x m mesh (m = 256):
+
+* **SOR** (``PROGRAM_SOR``, k = 10 sweeps) — the §9 clean split lowers
+  to an in-place C sweep;
+* **Jacobi** (``PROGRAM_JACOBI_STEPS``, k = 10 sweeps) — the
+  double-buffered driver calls a C step kernel per sweep.
+
+Each runs twice: once with the default python backend (generated
+Python loop nests) and once with ``CodegenOptions(backend="c")``
+(the same scheduled loop IR lowered to C, compiled via cffi).
+
+Asserted shape, at m = 256:
+
+* the C backend is at least **20x faster** end-to-end on both
+  solvers;
+* C and python backends agree **bit-for-bit** (the C emitter keeps
+  the python emitter's parenthesization and compiles with FP
+  contraction off), and both match the lazy ``run_program`` oracle
+  at the oracle mesh size;
+* the convergence driver reaches the same fixpoint in the **same
+  number of sweeps** (``iterate.sweeps.double`` runtime counter) —
+  bit-identical intermediate meshes, not just the same final one.
+
+The whole file skips without a C toolchain (the backend's own
+skip-don't-fail policy).  Set ``REPRO_BENCH_FAST=1`` for a CI-sized
+run (m = 64; the speedup floor is skipped because cc/process
+overheads dominate tiny meshes).
+"""
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro.backends.native import toolchain_status
+from repro.codegen.emit import CodegenOptions
+from repro.kernels import PROGRAM_CATALOG
+from repro.obs.trace import (
+    refresh_runtime_tracing,
+    reset_runtime_counters,
+    runtime_counters,
+)
+
+pytestmark = pytest.mark.skipif(
+    toolchain_status() is not None,
+    reason=f"native toolchain unavailable: {toolchain_status()}",
+)
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+M = 64 if FAST else 256
+K = 10
+ORACLE_M = 10
+MIN_SPEEDUP = 20.0
+
+C_OPTIONS = CodegenOptions(backend="c")
+
+SOLVERS = {
+    "sor": ("program_sor", {"omega": 1.25}),
+    "jacobi": ("program_jacobi_steps", {}),
+}
+
+
+def best_of(fn, repeat=3):
+    """Best wall time over ``repeat`` runs (noise-resistant floor)."""
+    times = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def solver_params(solver, m, k=K):
+    name, extra = SOLVERS[solver]
+    params = dict(PROGRAM_CATALOG[name]["params"])
+    params.update(m=m, k=k, **extra)
+    return params
+
+
+def compile_solver(solver, m, backend):
+    name, _ = SOLVERS[solver]
+    options = C_OPTIONS if backend == "c" else None
+    return repro.compile_program(
+        PROGRAM_CATALOG[name]["source"],
+        params=solver_params(solver, m),
+        options=options,
+    )
+
+
+@pytest.mark.benchmark(group="E22-backend-sor")
+def test_e22_sor_python_backend(benchmark):
+    program = compile_solver("sor", M, "python")
+    result = benchmark(lambda: program({}))
+    assert result.bounds.size() == M * M
+
+
+@pytest.mark.benchmark(group="E22-backend-sor")
+def test_e22_sor_c_backend(benchmark):
+    program = compile_solver("sor", M, "c")
+    assert program.report.binding("main").report.backend_used == "c"
+    result = benchmark(lambda: program({}))
+    assert result.bounds.size() == M * M
+
+
+@pytest.mark.benchmark(group="E22-backend-jacobi")
+def test_e22_jacobi_python_backend(benchmark):
+    program = compile_solver("jacobi", M, "python")
+    result = benchmark(lambda: program({}))
+    assert result.bounds.size() == M * M
+
+
+@pytest.mark.benchmark(group="E22-backend-jacobi")
+def test_e22_jacobi_c_backend(benchmark):
+    program = compile_solver("jacobi", M, "c")
+    assert program.report.binding("main").report.backend_used == "c"
+    result = benchmark(lambda: program({}))
+    assert result.bounds.size() == M * M
+
+
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_e22_speedup_floor(solver):
+    """The headline claim: >= 20x end-to-end at m = 256."""
+    py = compile_solver(solver, M, "python")
+    c = compile_solver(solver, M, "c")
+    assert py({}).to_list() == c({}).to_list()
+    if FAST:
+        return
+    speedup = best_of(lambda: py({}), repeat=2) / best_of(lambda: c({}))
+    assert speedup >= MIN_SPEEDUP, f"{solver}: {speedup:.1f}x"
+
+
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_e22_matches_lazy_oracle(solver):
+    """Bit-identity with ``run_program`` — lowering to C must never
+    change a float."""
+    name, _ = SOLVERS[solver]
+    params = solver_params(solver, ORACLE_M, k=5)
+    c = repro.compile_program(PROGRAM_CATALOG[name]["source"],
+                              params=params, options=C_OPTIONS)
+    oracle = repro.run_program(PROGRAM_CATALOG[name]["source"],
+                               bindings=dict(params))
+    assert c({}).to_list() == oracle.to_list()
+
+
+def test_e22_convergence_sweep_counts_match(monkeypatch):
+    """``converge`` sees bit-identical intermediate meshes, so both
+    backends stop after the same sweep."""
+    spec = PROGRAM_CATALOG["program_jacobi"]
+    params = dict(spec["params"], m=24, tol=1e-4)
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    refresh_runtime_tracing()
+    sweeps = {}
+    try:
+        for backend, options in (("python", None), ("c", C_OPTIONS)):
+            program = repro.compile_program(spec["source"],
+                                            params=params,
+                                            options=options)
+            reset_runtime_counters()
+            program({})
+            sweeps[backend] = runtime_counters().get(
+                "iterate.sweeps.double", 0)
+    finally:
+        monkeypatch.delenv("REPRO_TRACE")
+        refresh_runtime_tracing()
+        reset_runtime_counters()
+    assert sweeps["python"] > 0
+    assert sweeps["python"] == sweeps["c"]

@@ -44,6 +44,13 @@ threads §9 storage reuse across statements, and ``iterate``/
 program-shaped source.
 """
 
+from repro.backends import (
+    Backend,
+    BackendUnsupported,
+    available_backends,
+    backend_names,
+    register_backend,
+)
 from repro.codegen import CodegenOptions, FlatArray
 from repro.core.pipeline import (
     CompileError,
@@ -86,6 +93,8 @@ from repro.runtime import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
+    "BackendUnsupported",
     "Bounds",
     "CodegenOptions",
     "CompileError",
@@ -101,6 +110,8 @@ __all__ = [
     "StrictArray",
     "accum_array",
     "analyze",
+    "available_backends",
+    "backend_names",
     "bigupd",
     "compile",
     "compile_accum_array",
@@ -120,6 +131,7 @@ __all__ = [
     "parse_program",
     "pretty",
     "recursive_array",
+    "register_backend",
     "run_program",
     "upd",
 ]

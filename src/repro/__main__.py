@@ -122,7 +122,11 @@ def _print_array(array):
     if bounds.rank == 2:
         (lo_i, lo_j), (hi_i, hi_j) = bounds.low, bounds.high
         for i in range(lo_i, hi_i + 1):
-            row = [array.at((i, j)) for j in range(lo_j, hi_j + 1)]
+            # .item() unboxes numpy scalars (C-backed results) so both
+            # backends print identically.
+            row = [getattr(v, "item", lambda v=v: v)()
+                   for v in (array.at((i, j))
+                             for j in range(lo_j, hi_j + 1))]
             print("  ".join(f"{v!r:>8}" for v in row))
         return
     print(array.to_list())
@@ -188,6 +192,7 @@ def _program_command(args, source: str, params) -> int:
             vectorize=args.vectorize,
             parallel=args.parallel,
             parallel_threads=args.parallel_threads,
+            backend=args.backend,
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc
@@ -237,6 +242,7 @@ def _explain_command(args, source: str, params) -> int:
             parallel=args.parallel,
             parallel_threads=args.parallel_threads,
             inplace=bool(args.inplace),
+            backend=args.backend,
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc
@@ -296,6 +302,12 @@ def main(argv=None) -> int:
                              "(requires --parallel)")
     parser.add_argument("--inplace", metavar="OLD_ARRAY",
                         help="compile for in-place update of OLD_ARRAY")
+    parser.add_argument("--backend", default="python",
+                        metavar="NAME",
+                        help="code-generation backend: python (default) "
+                             "or c (native kernels via cffi; falls back "
+                             "to python per construct, with reasons in "
+                             "the report)")
     parser.add_argument("--cache", nargs="?", const=_DEFAULT_CACHE,
                         metavar="DIR",
                         help="serve compile/run through the persistent "
@@ -367,6 +379,7 @@ def main(argv=None) -> int:
             parallel=args.parallel,
             parallel_threads=args.parallel_threads,
             inplace=bool(args.inplace),
+            backend=args.backend,
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc

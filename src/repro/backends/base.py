@@ -1,0 +1,92 @@
+"""Shared vocabulary of the backend registry.
+
+A *backend* turns one already-scheduled compilation job into python
+source whose ``_build(_env)`` entry point the pipeline ``exec``'s (see
+:class:`repro.codegen.compile.CompiledComp`).  The scheduled loop IR
+(§6 normalization + §8 static scheduling) is backend-neutral; what
+varies is the loop *body* language: the python backend interprets each
+cell in-process, the C backend (:mod:`repro.backends.c`) emits a
+native kernel and a thin python wrapper around it.
+
+:class:`LoweringJob` is the whole contract: every emitter call site in
+:mod:`repro.core.pipeline` packs its mode-specific inputs into one job
+and hands it to :func:`repro.backends.lower`, which picks the emitter.
+A backend that cannot lower a particular job raises
+:class:`BackendUnsupported` with a *reason a user can act on* — the
+dispatcher records it in ``Report.backend`` and falls back to the
+python emitter, which handles everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class BackendUnsupported(Exception):
+    """This backend cannot lower this job; fall back with this reason."""
+
+
+@dataclass
+class LoweringJob:
+    """One emitter request, backend-agnostic.
+
+    ``mode`` selects which of the pipeline's four emission paths the
+    job came from and which optional fields are meaningful:
+
+    ``"thunkless"``
+        Static schedule over ``comp`` (§8); ``edges``,
+        ``parallel_plan`` and ``parallel_log`` as for
+        :func:`repro.codegen.emit.emit_thunkless`.
+    ``"thunked"``
+        Demand-driven fallback; only ``comp`` and ``params``.
+    ``"inplace"``
+        §9 in-place update; ``plan`` is the
+        :class:`~repro.inplace.plan.InPlacePlan`, ``old_array`` the
+        updated array's name.
+    ``"accum"``
+        Accumulation-array emission; ``combine`` / ``init_ast`` as for
+        :func:`repro.codegen.emit.emit_accum`.
+    """
+
+    mode: str
+    comp: object
+    options: object
+    schedule: object = None
+    params: Optional[Dict] = None
+    edges: Tuple = ()
+    parallel_plan: object = None
+    parallel_log: Optional[List[str]] = None
+    plan: object = None
+    old_array: Optional[str] = None
+    combine: object = None
+    init_ast: object = None
+    #: Set by the pipeline from ``report.empties.checks_needed`` — a
+    #: backend whose result buffers cannot represent *undefined* cells
+    #: (the C tier zero-fills) must refuse partial comprehensions.
+    empties_needed: bool = False
+
+
+class Backend:
+    """One registered emitter.  Subclasses override both methods."""
+
+    #: Registry key; also what ``CodegenOptions(backend=...)`` names.
+    name = "?"
+
+    def availability(self) -> Optional[str]:
+        """``None`` when usable here, else a human-readable reason.
+
+        Called before every emit for non-default backends; an
+        unavailable backend is *skipped* (python fallback with the
+        reason logged), never an error — per-machine toolchain gaps
+        must not fail compiles.
+        """
+        return None
+
+    def emit(self, job: LoweringJob) -> str:
+        """Lower ``job`` to python source with a ``_build`` entry.
+
+        Raises :class:`BackendUnsupported` for constructs this backend
+        has no lowering for.
+        """
+        raise NotImplementedError

@@ -1,0 +1,45 @@
+"""The python backend: the original emitters behind the registry.
+
+This is the "everything works here" tier the dispatcher falls back to:
+all four lowering modes, every :class:`~repro.codegen.emit.
+CodegenOptions` knob (checks, vectorize, parallel), thunked arrays,
+and §9 node-splitting temporaries.  The module is a thin adapter — the
+actual emitters stay in :mod:`repro.codegen.emit`, which remains the
+backend-neutral lowering layer's reference implementation.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendUnsupported, LoweringJob
+from repro.codegen.emit import (
+    emit_accum,
+    emit_inplace,
+    emit_thunked,
+    emit_thunkless,
+)
+
+
+class PythonBackend(Backend):
+    """Registry entry ``"python"``: interpret loop bodies in-process."""
+
+    name = "python"
+
+    def emit(self, job: LoweringJob) -> str:
+        if job.mode == "thunkless":
+            return emit_thunkless(
+                job.comp, job.schedule, job.options, job.params,
+                edges=job.edges, parallel_plan=job.parallel_plan,
+                parallel_log=job.parallel_log,
+            )
+        if job.mode == "thunked":
+            return emit_thunked(job.comp, job.options, job.params)
+        if job.mode == "inplace":
+            return emit_inplace(
+                job.comp, job.schedule, job.plan, job.options, job.params
+            )
+        if job.mode == "accum":
+            return emit_accum(
+                job.comp, job.schedule, job.combine, job.init_ast,
+                job.options, job.params,
+            )
+        raise BackendUnsupported(f"unknown lowering mode {job.mode!r}")

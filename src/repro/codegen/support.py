@@ -9,6 +9,7 @@ them — and so benchmarks can price exactly what the elision buys
 
 from __future__ import annotations
 
+import atexit
 from typing import Any, List, Sequence
 
 from repro.obs.trace import count_runtime
@@ -140,7 +141,15 @@ class FlatArray:
             yield subscript, value
 
     def to_list(self) -> List[Any]:
-        """All cells, row-major."""
+        """All cells, row-major (plain Python scalars).
+
+        ``cells`` may be a numpy buffer (the C backend's output);
+        ``tolist`` unboxes its elements to Python floats so results
+        compare cleanly across backends.
+        """
+        unbox = getattr(self.cells, "tolist", None)
+        if unbox is not None:
+            return unbox()
         return list(self.cells)
 
     def __len__(self):
@@ -149,7 +158,10 @@ class FlatArray:
     def __eq__(self, other):
         if not hasattr(other, "bounds") or not hasattr(other, "to_list"):
             return NotImplemented
-        return self.bounds == other.bounds and self.cells == other.to_list()
+        # Compare via to_list() on both sides: ``cells`` may be a
+        # numpy array, whose ``==`` is elementwise (not a bool).
+        return (self.bounds == other.bounds
+                and self.to_list() == other.to_list())
 
     def __repr__(self):
         return f"FlatArray(bounds={self.bounds!r}, size={len(self)})"
@@ -211,6 +223,23 @@ def _shared_pool(workers: int):
             if old is not None:
                 old.shutdown(wait=False)
         return _PAR_POOL
+
+
+@atexit.register
+def _shutdown_pool() -> None:
+    """Tear down the shared executor at interpreter exit.
+
+    Worker threads are non-daemonic, so without this hook an
+    interpreter shutdown blocks on whatever chunk bodies are still
+    queued; cancelling pending futures bounds the wait to the chunks
+    already running.  Also callable from tests (idempotent — the pool
+    is rebuilt lazily on the next ``par_chunks``).
+    """
+    global _PAR_POOL, _PAR_POOL_WORKERS
+    pool, _PAR_POOL = _PAR_POOL, None
+    _PAR_POOL_WORKERS = 0
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def par_chunks(body, start: int, stop: int, step: int,

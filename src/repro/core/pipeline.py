@@ -33,13 +33,9 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.backends import LoweringJob, lower
 from repro.codegen.compile import CompiledComp
-from repro.codegen.emit import (
-    CodegenOptions,
-    emit_inplace,
-    emit_thunked,
-    emit_thunkless,
-)
+from repro.codegen.emit import CodegenOptions
 from repro.comprehension.build import (
     build_array_comp,
     find_array_comp,
@@ -86,6 +82,13 @@ class Report:
     #: Parallel-backend decisions (one line per clause/loop): what the
     #: wavefront/dep-free emitters did and why anything fell back.
     parallel: List[str] = field(default_factory=list)
+    #: Backend-dispatch log: one line per skip or reasoned fallback
+    #: (unavailable toolchain, unsupported construct) recorded by
+    #: :func:`repro.backends.lower`.
+    backend: List[str] = field(default_factory=list)
+    #: The registered backend whose emitter produced the source
+    #: (``"python"`` unless a non-default backend lowered the job).
+    backend_used: str = ""
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per pipeline pass (parse, build, dependence,
     #: schedule, codegen, ...) — consumed by the compile service's
@@ -128,6 +131,10 @@ class Report:
                 )
         for decision in self.parallel:
             lines.append(f"parallel: {decision}")
+        if self.backend_used and self.backend_used != "python":
+            lines.append(f"backend: lowered by {self.backend_used}")
+        for decision in self.backend:
+            lines.append(f"backend: {decision}")
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
@@ -333,12 +340,14 @@ def _compile_array_traced(
     try:
         with span("codegen"):
             if strategy == "thunkless":
-                source = emit_thunkless(
-                    report.comp, report.schedule, options, params,
-                    edges=report.edges,
+                source = lower(LoweringJob(
+                    mode="thunkless", comp=report.comp,
+                    options=options, schedule=report.schedule,
+                    params=params, edges=report.edges,
                     parallel_plan=parallel_plan,
                     parallel_log=report.parallel,
-                )
+                    empties_needed=report.empties.checks_needed,
+                ), report)
                 if options.vectorize:
                     report.notes.append(
                         "vectorization requested (paper §10): "
@@ -346,7 +355,10 @@ def _compile_array_traced(
                         "slices"
                     )
             elif strategy == "thunked":
-                source = emit_thunked(report.comp, options, params)
+                source = lower(LoweringJob(
+                    mode="thunked", comp=report.comp,
+                    options=options, params=params,
+                ), report)
             else:
                 raise CompileError(f"unknown strategy {strategy!r}")
     except CodegenError as exc:
@@ -419,7 +431,6 @@ def _compile_accum_traced(
     params: Optional[Dict[str, int]],
     options: Optional[CodegenOptions],
 ) -> CompiledComp:
-    from repro.codegen.emit import emit_accum
     from repro.codegen.exprs import CodegenError
     from repro.core.accum import (
         classify_combiner,
@@ -482,8 +493,11 @@ def _compile_accum_traced(
         )
     try:
         with span("codegen"):
-            source = emit_accum(comp, schedule, combine, init_ast,
-                                report.checks, params)
+            source = lower(LoweringJob(
+                mode="accum", comp=comp, options=report.checks,
+                schedule=schedule, params=params,
+                combine=combine, init_ast=init_ast,
+            ), report)
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
     with span("exec"):
@@ -581,8 +595,11 @@ def _compile_inplace_traced(
 
     try:
         with span("codegen"):
-            source = emit_inplace(comp, schedule, plan, report.checks,
-                                  params)
+            source = lower(LoweringJob(
+                mode="inplace", comp=comp, options=report.checks,
+                schedule=schedule, params=params, plan=plan,
+                old_array=plan.old_array,
+            ), report)
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
     with span("exec"):

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional
 
 #: Decision areas, in render order.
 AREAS = ("compile", "strategy", "schedule", "checks", "inplace",
-         "vectorize", "parallel", "fuse", "reuse", "iterate", "note")
+         "vectorize", "parallel", "backend", "fuse", "reuse", "iterate",
+         "note")
 
 ACCEPTED = "accepted"
 REJECTED = "rejected"
@@ -181,6 +182,21 @@ def _explain_parallel(out: Explanation, report, prefix: str) -> None:
         out.add("parallel", prefix + "backend", verdict, line)
 
 
+def _explain_backend(out: Explanation, report, prefix: str) -> None:
+    used = getattr(report, "backend_used", "")
+    log = getattr(report, "backend", None) or []
+    if used and used != "python":
+        out.add("backend", prefix + "emitter", ACCEPTED,
+                f"lowered by the {used!r} backend")
+    elif used and log:
+        # A non-default backend was requested but the python emitter
+        # produced the source — every reason is in the log below.
+        out.add("backend", prefix + "emitter", FALLBACK,
+                "python emitter produced the code")
+    for line in log:
+        out.add("backend", prefix + "dispatch", INFO, line)
+
+
 def explain_definition_report(report, prefix: str = "",
                               out: Optional[Explanation] = None
                               ) -> Explanation:
@@ -206,6 +222,7 @@ def explain_definition_report(report, prefix: str = "",
     _explain_inplace(out, report, prefix)
     _explain_vectorize(out, report, prefix)
     _explain_parallel(out, report, prefix)
+    _explain_backend(out, report, prefix)
     for note in report.notes:
         out.add("note", prefix.rstrip(": ") or "pipeline", INFO, note)
     return out

@@ -170,6 +170,13 @@ def _compile_program_traced(src, params, options, result, fuse=True
     protected = _protected_names(result, schedule, kinds, extras, by_name)
 
     report = ProgramReport(order=list(schedule), result=result)
+    requested_backend = getattr(options, "backend", "python") or "python"
+    if requested_backend != "python":
+        report.notes.append(
+            f"backend {requested_backend!r} requested: each compiled "
+            "binding lowers natively where supported (see the "
+            "per-binding reports for fallbacks)"
+        )
     final_names = set(by_name)
     for (consumer, producer), reason in fusion_rejects.items():
         if consumer != "*" and consumer not in final_names:

@@ -31,6 +31,27 @@ from repro.obs.trace import count_runtime
 from repro.program.iterate import CONVERGE_CAP, max_abs_diff
 from repro.program.report import ProgramReport
 
+try:  # buffers may be numpy arrays when the C backend produced them
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def _copy_cells(cells):
+    """A same-typed private copy of a cell buffer (list or ndarray)."""
+    return cells.copy()
+
+
+def _donatable(cells) -> bool:
+    """Whether a dead buffer can ride the ``'.reuse'`` slot.
+
+    Both emitters' preambles accept (and size-check) plain lists and
+    float64 numpy buffers; anything else is not a known buffer type.
+    """
+    if isinstance(cells, list):
+        return True
+    return _np is not None and isinstance(cells, _np.ndarray)
+
 
 class ProgramError(Exception):
     """A compiled program failed at run time (missing input, diverging
@@ -169,7 +190,7 @@ def _execute(program: CompiledProgram, env: Dict,
                     alloc_buffer(len(old.cells))
                     call_env = dict(env)
                     call_env[step.old_array] = FlatArray(
-                        old.bounds, list(old.cells)
+                        old.bounds, _copy_cells(old.cells)
                     )
             define(step.name, step.compiled(call_env))
     return env[program.report.result]
@@ -248,14 +269,14 @@ def _sweep_inplace(plan: IteratePlan, env: Dict, kind: str, control,
     """True in-place sweeps (SOR): zero steady-state allocations."""
     if not owned:
         alloc_buffer(len(current.cells))
-        current = FlatArray(current.bounds, list(current.cells))
+        current = FlatArray(current.bounds, _copy_cells(current.cells))
     if kind == "steps":
         for _ in range(control):
             plan.step({**env, plan.param: current})
         count_runtime("iterate.sweeps.inplace", control)
         return current
     alloc_buffer(len(current.cells))
-    shadow = list(current.cells)
+    shadow = _copy_cells(current.cells)
     for sweep in range(CONVERGE_CAP):
         shadow[:] = current.cells
         plan.step({**env, plan.param: current})
@@ -294,7 +315,7 @@ def _sweep_double(plan: IteratePlan, env: Dict, kind: str, control,
         )
         may_donate = previous is not seed or owned
         spare = previous.cells if (
-            may_donate and isinstance(previous.cells, list)
+            may_donate and _donatable(previous.cells)
         ) else None
         previous = stepped
         if converged:

@@ -46,7 +46,10 @@ from repro.lang.parser import parse_expr
 #:     changed every thunkless emitter's output).
 #: /4: cross-binding loop fusion (program plans may elide bindings, so
 #:     every cached program artifact predating the pass is stale).
-PIPELINE_SALT = "repro-pipeline/4"
+#: /5: backend registry + native C tier (CodegenOptions grew a
+#:     ``backend`` field, reports grew backend entries, and the salt
+#:     also keys the native ``.so`` cache — one bump retires both).
+PIPELINE_SALT = "repro-pipeline/5"
 
 
 # ----------------------------------------------------------------------

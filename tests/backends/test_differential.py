@@ -1,0 +1,286 @@
+"""Differential suite: the C backend vs the python backend vs the oracle.
+
+Bit-identical floats are the contract — not approximately equal.  The
+C emitter preserves the python emitter's parenthesization, compiles
+with FP contraction off, and mirrors CPython's libm calls, so every
+kernel in the catalog (and randomized comprehensions) must produce
+the exact same cell list.  The suite needs a C toolchain; without one
+it skips, mirroring the backend's own skip-don't-fail policy.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.backends.native import toolchain_status
+from repro.codegen.emit import CodegenOptions
+from repro.codegen.support import Bounds, FlatArray
+from repro.kernels import CATALOG, PROGRAM_CATALOG, mesh_cells
+from repro.obs.explain import explain_report
+
+NO_CC = toolchain_status() is not None
+needs_cc = pytest.mark.skipif(
+    NO_CC, reason=f"native toolchain unavailable: {toolchain_status()}"
+)
+
+C_OPTIONS = CodegenOptions(backend="c")
+
+#: Environments per catalog kernel: params plus a fresh-input factory
+#: (in-place compiles mutate their inputs, so every run needs its own).
+_PARAMS = {
+    "wavefront": {"n": 12},
+    "wavefront_f": {"n": 12},
+    "sor_monolithic": {"m": 10, "omega": 1.25},
+    "stride3": {},
+    "example2": {},
+    "abc_acyclic": {},
+    "cyclic_fallback": {},
+    "forward_recurrence": {"n": 12},
+    "backward_recurrence": {"n": 12},
+    "matmul": {"n": 7},
+    "squares": {"n": 12},
+    "pascal": {"n": 10},
+    "swap": {"m": 5, "n": 7, "i": 2, "k": 4},
+    "jacobi": {"m": 9},
+    "sor": {"m": 9, "omega": 1.3},
+    "gauss_seidel": {"m": 9},
+    "saxpy_row": {"m": 5, "n": 7, "i": 2, "k": 3, "s": 0.5},
+    "scale_row": {"m": 5, "n": 7, "i": 2, "s": 1.5},
+    "reverse": {"n": 11},
+}
+
+
+def _inputs(name):
+    """Fresh input arrays for one catalog kernel."""
+    params = _PARAMS[name]
+    if name == "sor_monolithic":
+        m = params["m"]
+        return {"u": FlatArray(Bounds((1, 1), (m, m)), mesh_cells(m))}
+    if name in ("jacobi", "sor", "gauss_seidel"):
+        m = params["m"]
+        return {"u": FlatArray(Bounds((1, 1), (m, m)), mesh_cells(m))}
+    if name in ("swap", "saxpy_row", "scale_row"):
+        m, n = params["m"], params["n"]
+        return {"a": FlatArray(Bounds((1, 1), (m, n)),
+                               [float(i) * 0.5 for i in range(m * n)])}
+    if name == "reverse":
+        n = params["n"]
+        return {"a": FlatArray(Bounds(1, n),
+                               [float(i) * 1.5 for i in range(n)])}
+    if name in ("forward_recurrence", "backward_recurrence"):
+        n = params["n"]
+        return {
+            "b": FlatArray(Bounds(1, n),
+                           [float(i % 4) + 0.5 for i in range(n)]),
+            "c": FlatArray(Bounds(1, n),
+                           [0.25 + 0.01 * i for i in range(n)]),
+        }
+    if name == "matmul":
+        n = params["n"]
+        return {
+            "x": FlatArray(Bounds((1, 1), (n, n)),
+                           [0.5 * (i % 7) + 0.25 for i in range(n * n)]),
+            "y": FlatArray(Bounds((1, 1), (n, n)),
+                           [0.125 * (i % 5) - 1.0 for i in range(n * n)]),
+        }
+    return {}
+
+
+def _compile_pair(name):
+    spec = CATALOG[name]
+    params = _PARAMS[name]
+    kwargs = {"params": params}
+    if spec["kind"] == "inplace":
+        kwargs.update(strategy="inplace", old_array=spec["old"])
+    py = repro.compile(spec["source"], **kwargs)
+    c = repro.compile(spec["source"], options=C_OPTIONS, **kwargs)
+    return py, c, params
+
+
+@needs_cc
+class TestCatalogDifferential:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n, spec in sorted(CATALOG.items())
+         if not spec.get("partial")],
+    )
+    def test_bit_identical_with_python_backend(self, name):
+        py, c, params = _compile_pair(name)
+        out_py = py(dict(_inputs(name), **params)).to_list()
+        out_c = c(dict(_inputs(name), **params)).to_list()
+        assert out_py == out_c, (
+            f"{name}: C backend diverged (backend_used="
+            f"{c.report.backend_used}, log={c.report.backend})"
+        )
+
+    def test_partial_comprehension_falls_back_with_reason(self):
+        """Partial kernels cannot run (undefined cells raise), but the
+        C backend must refuse them loudly at compile time — a C double
+        buffer cannot represent an undefined cell."""
+        _, c, _ = _compile_pair("example2")
+        assert c.report.backend_used == "python"
+        assert any("not provably total" in line
+                   for line in c.report.backend)
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n, spec in sorted(CATALOG.items())
+         if spec["kind"] == "monolithic" and not spec.get("partial")],
+    )
+    def test_bit_identical_with_lazy_oracle(self, name):
+        _, c, params = _compile_pair(name)
+        env = dict(_inputs(name), **params)
+        out_c = c(dict(env)).to_list()
+        oracle = repro.evaluate(CATALOG[name]["source"], bindings=env,
+                                deep=False)
+        assert out_c == oracle.to_list()
+
+    @pytest.mark.parametrize("name", sorted(PROGRAM_CATALOG))
+    def test_programs_bit_identical(self, name):
+        spec = PROGRAM_CATALOG[name]
+        py = repro.compile_program(spec["source"], params=spec["params"])
+        c = repro.compile_program(spec["source"], params=spec["params"],
+                                  options=C_OPTIONS)
+        assert py({}).to_list() == c({}).to_list()
+
+    def test_convergence_sweep_counts_match(self, monkeypatch):
+        """Same fixpoint in the same number of sweeps (not just the
+        same final mesh): the convergence metric sees bit-identical
+        intermediate meshes, so the sweep counters agree exactly."""
+        from repro.obs.trace import (
+            refresh_runtime_tracing,
+            reset_runtime_counters,
+            runtime_counters,
+        )
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        refresh_runtime_tracing()
+        spec = PROGRAM_CATALOG["program_jacobi"]
+        sweeps = {}
+        try:
+            for label, options in (("python", None), ("c", C_OPTIONS)):
+                program = repro.compile_program(
+                    spec["source"], params=spec["params"],
+                    options=options,
+                )
+                reset_runtime_counters()
+                program({})
+                counters = runtime_counters()
+                sweeps[label] = counters.get("iterate.sweeps.double", 0)
+        finally:
+            monkeypatch.delenv("REPRO_TRACE")
+            refresh_runtime_tracing()
+            reset_runtime_counters()
+        assert sweeps["python"] > 0
+        assert sweeps["python"] == sweeps["c"]
+
+
+# ----------------------------------------------------------------------
+# Randomized comprehensions (hypothesis): float stencils with guards,
+# reductions, and libm calls — shapes the C tier lowers natively.
+
+
+@st.composite
+def float_stencil(draw):
+    n = draw(st.integers(4, 12))
+    # |coeff| < 1 keeps the recurrence bounded; sin/cos/sqrt stay in
+    # range at any depth (exp would overflow differently per backend).
+    coeff = draw(st.floats(-0.9, 0.9, allow_nan=False))
+    shift = draw(st.integers(1, 3))
+    fn = draw(st.sampled_from(["", "sqrt", "sin", "cos", "abs"]))
+    seed_expr = draw(st.sampled_from(
+        ["0.5 * i", "1.0 * i * i", "1.0 / i"]
+    ))
+    body = f"a!(i-{shift}) * ({coeff!r}) + {seed_expr}"
+    if fn == "sqrt":
+        body = f"sqrt(abs({body}))"
+    elif fn:
+        body = f"{fn}({body})"
+    src = (
+        f"letrec a = array (1,{n})\n"
+        f"  ([ i := {seed_expr} | i <- [1..{shift}] ] ++\n"
+        f"   [ i := {body} | i <- [{shift + 1}..{n}] ])\n"
+        "in a"
+    )
+    return src, n
+
+
+@needs_cc
+class TestRandomizedDifferential:
+    @given(case=float_stencil())
+    @settings(max_examples=30, deadline=None)
+    def test_random_recurrences_bit_identical(self, case):
+        src, n = case
+        py = repro.compile(src, params={"n": n})
+        c = repro.compile(src, params={"n": n},
+                          options=CodegenOptions(backend="c"))
+        assert py({}).to_list() == c({}).to_list()
+
+    @given(
+        n=st.integers(3, 10),
+        scale=st.floats(0.125, 3.0, allow_nan=False),
+        guard_at=st.integers(2, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_guarded_reductions_bit_identical(self, n, scale,
+                                                     guard_at):
+        src = (
+            f"letrec a = array (1,{n})\n"
+            f"  [ i := if i < {guard_at}\n"
+            f"         then {scale!r} * i\n"
+            f"         else sum [ {scale!r} / k | k <- [1..i] ]\n"
+            f"  | i <- [1..{n}] ]\n"
+            "in a"
+        )
+        py = repro.compile(src, params={"n": n})
+        c = repro.compile(src, params={"n": n},
+                          options=CodegenOptions(backend="c"))
+        assert py({}).to_list() == c({}).to_list()
+
+
+# ----------------------------------------------------------------------
+# Golden explain output for a reasoned fallback.
+
+
+class TestExplainBackend:
+    def test_golden_fallback_trace(self):
+        from repro.kernels import CYCLIC_FALLBACK
+
+        compiled = repro.compile(CYCLIC_FALLBACK, options=C_OPTIONS)
+        rendered = explain_report(compiled.report).render()
+        lines = rendered.splitlines()
+        start = lines.index("backend:")
+        backend_section = []
+        for line in lines[start + 1:]:
+            if not line.startswith("  "):
+                break
+            backend_section.append(line.strip())
+        assert ("emitter: fallback — python emitter produced the code"
+                in backend_section)
+        assert any(
+            line.startswith("dispatch: info — backend c fell back on "
+                            "thunked lowering:")
+            and line.endswith("python emitter used")
+            for line in backend_section
+        )
+
+    @needs_cc
+    def test_explain_records_native_lowering(self):
+        from repro.kernels import SQUARES
+
+        compiled = repro.compile(SQUARES, params={"n": 4},
+                                 options=C_OPTIONS)
+        explanation = explain_report(compiled.report)
+        backend = explanation.by_area("backend")
+        assert any(
+            d.verdict == "accepted" and "'c'" in d.reason
+            for d in backend
+        )
+
+    def test_default_compile_has_no_backend_noise(self):
+        from repro.kernels import SQUARES
+
+        compiled = repro.compile(SQUARES, params={"n": 4})
+        explanation = explain_report(compiled.report)
+        assert explanation.by_area("backend") == []
+        assert "backend" not in compiled.report.summary()

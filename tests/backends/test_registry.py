@@ -1,0 +1,277 @@
+"""The backend registry: registration, dispatch, and option conflicts.
+
+Covers the registry API (register/get/names/availability), the
+``lower()`` dispatch policy (default short-circuit, loud unknown
+names, reasoned fallbacks), the full pairwise ``from_flags`` conflict
+matrix for ``backend=``, and the shared thread pool's atexit hook.
+"""
+
+import itertools
+
+import pytest
+
+import repro
+from repro.backends import (
+    Backend,
+    BackendUnsupported,
+    LoweringJob,
+    available_backends,
+    backend_names,
+    get_backend,
+    lower,
+    register_backend,
+)
+from repro.backends import _REGISTRY
+from repro.codegen.emit import CodegenOptions
+from repro.codegen.exprs import CodegenError
+from repro.core.pipeline import Report
+from repro.kernels import SQUARES
+from repro.obs.trace import Trace, tracing
+
+
+@pytest.fixture
+def scratch_backend():
+    """Remove any test-registered backend names afterwards."""
+    before = set(backend_names())
+    yield
+    for name in set(backend_names()) - before:
+        _REGISTRY.pop(name, None)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "python" in backend_names()
+        assert "c" in backend_names()
+
+    def test_python_always_available(self):
+        assert available_backends()["python"] is None
+
+    def test_unknown_backend_is_loud(self):
+        with pytest.raises(CodegenError, match="unknown backend"):
+            get_backend("fortran")
+
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(CodegenError, match="python"):
+            get_backend("fortran")
+
+    def test_register_callable(self, scratch_backend):
+        backend = register_backend("echo", lambda job: "def _build(e):\n"
+                                                       "    return e")
+        assert backend.name == "echo"
+        assert "echo" in backend_names()
+        assert get_backend("echo") is backend
+
+    def test_register_class(self, scratch_backend):
+        class Dummy(Backend):
+            def emit(self, job):
+                return "source"
+
+        backend = register_backend("dummy", Dummy)
+        assert isinstance(backend, Dummy)
+        assert backend.name == "dummy"
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            register_backend("", lambda job: "")
+        with pytest.raises(ValueError):
+            register_backend(None, lambda job: "")
+
+    def test_register_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            register_backend("bad", 42)
+
+
+class TestLowerDispatch:
+    def _job(self, backend_name):
+        compiled = repro.compile(SQUARES, params={"n": 4})
+        report = compiled.report
+        return LoweringJob(
+            mode="thunkless", comp=report.comp,
+            options=CodegenOptions(backend=backend_name),
+            schedule=report.schedule, params={"n": 4},
+            edges=report.edges,
+        ), Report()
+
+    def test_default_backend_short_circuits(self):
+        job, report = self._job("python")
+        source = lower(job, report)
+        assert "_build" in source
+        assert report.backend_used == "python"
+        assert report.backend == []
+
+    def test_unknown_backend_raises(self):
+        job, report = self._job("fortran")
+        with pytest.raises(CodegenError, match="unknown backend"):
+            lower(job, report)
+
+    def test_unsupported_falls_back_with_reason(self, scratch_backend):
+        class Refuses(Backend):
+            def emit(self, job):
+                raise BackendUnsupported("no lowering for this shape")
+
+        register_backend("refuses", Refuses)
+        job, report = self._job("refuses")
+        trace = Trace("t")
+        with tracing(trace):
+            source = lower(job, report)
+        assert "_build" in source  # python emitter produced the code
+        assert report.backend_used == "python"
+        assert any("no lowering for this shape" in line
+                   for line in report.backend)
+        assert trace.counters().get("backend.refuses.fallback") == 1
+
+    def test_unavailable_skips_with_reason(self, scratch_backend):
+        class Unavailable(Backend):
+            def availability(self):
+                return "toolchain missing"
+
+            def emit(self, job):  # pragma: no cover - must not be hit
+                raise AssertionError("emit called on unavailable backend")
+
+        register_backend("absent", Unavailable)
+        job, report = self._job("absent")
+        trace = Trace("t")
+        with tracing(trace):
+            source = lower(job, report)
+        assert "_build" in source
+        assert report.backend_used == "python"
+        assert any("toolchain missing" in line for line in report.backend)
+        assert trace.counters().get("backend.absent.unavailable") == 1
+
+    def test_success_counts_and_records(self, scratch_backend):
+        class Always(Backend):
+            def emit(self, job):
+                return "def _build(_env):\n    return None"
+
+        register_backend("always", Always)
+        job, report = self._job("always")
+        trace = Trace("t")
+        with tracing(trace):
+            source = lower(job, report)
+        assert "return None" in source
+        assert report.backend_used == "always"
+        assert report.backend == []
+        assert trace.counters().get("backend.always.lowered") == 1
+
+
+# ----------------------------------------------------------------------
+# The from_flags conflict matrix (satellite: every pairwise combination
+# of backend= with the other flags).
+
+#: Flags that conflict with a non-python backend, as from_flags
+#: kwargs.  ``parallel-threads`` implies ``parallel``, so the error
+#: reports the enabling flag first.
+_CONFLICTING = {
+    "vectorize": {"vectorize": True},
+    "parallel": {"parallel": True},
+    "parallel-threads": {"parallel": True, "parallel_threads": 4},
+    "bounds-checks": {"bounds_checks": True},
+    "collision-checks": {"collision_checks": True},
+    "empties-check": {"empties_check": True},
+}
+
+#: The flag name each combination's error message reports.
+_REPORTED = {flag: ("parallel" if flag == "parallel-threads" else flag)
+             for flag in _CONFLICTING}
+
+
+class TestFromFlagsBackend:
+    def test_all_defaults_returns_none(self):
+        assert CodegenOptions.from_flags() is None
+        assert CodegenOptions.from_flags(backend="python") is None
+
+    def test_backend_c_alone_is_allowed(self):
+        options = CodegenOptions.from_flags(backend="c")
+        assert options is not None
+        assert options.backend == "c"
+        assert not options.vectorize and not options.parallel
+
+    def test_backend_c_with_inplace_is_allowed(self):
+        options = CodegenOptions.from_flags(backend="c", inplace=True)
+        assert options is not None and options.backend == "c"
+
+    def test_unknown_backend_name_is_loud(self):
+        with pytest.raises(CodegenError, match="unknown backend"):
+            CodegenOptions.from_flags(backend="fortran")
+
+    @pytest.mark.parametrize("flag", sorted(_CONFLICTING))
+    def test_backend_c_conflicts(self, flag):
+        with pytest.raises(CodegenError) as err:
+            CodegenOptions.from_flags(backend="c", **_CONFLICTING[flag])
+        message = str(err.value)
+        # The error must be actionable: name both sides and the fix.
+        assert "--backend c" in message
+        assert f"--{_REPORTED[flag]}" in message
+        assert "drop one of the two" in message
+
+    @pytest.mark.parametrize("flag", sorted(_CONFLICTING))
+    def test_python_backend_accepts_each_flag(self, flag):
+        options = CodegenOptions.from_flags(backend="python",
+                                            **_CONFLICTING[flag])
+        assert options is not None
+        assert options.backend == "python"
+
+    @pytest.mark.parametrize(
+        "first,second",
+        list(itertools.combinations(sorted(_CONFLICTING), 2)),
+    )
+    def test_pairwise_combinations_still_conflict(self, first, second):
+        """Any flag pair plus backend=c errors on the first conflict."""
+        kwargs = dict(_CONFLICTING[first])
+        kwargs.update(_CONFLICTING[second])
+        with pytest.raises(CodegenError, match="--backend c"):
+            CodegenOptions.from_flags(backend="c", **kwargs)
+
+    @pytest.mark.parametrize(
+        "first,second",
+        list(itertools.combinations(sorted(_CONFLICTING), 2)),
+    )
+    def test_pairwise_combinations_fine_without_backend(self, first,
+                                                        second):
+        kwargs = dict(_CONFLICTING[first])
+        kwargs.update(_CONFLICTING[second])
+        options = CodegenOptions.from_flags(**kwargs)
+        assert options is not None
+        assert options.backend == "python"
+
+
+# ----------------------------------------------------------------------
+# The shared par_chunks pool's atexit hook (satellite).
+
+
+class TestPoolShutdown:
+    def test_shutdown_hook_drains_and_is_idempotent(self):
+        from repro.codegen import support
+
+        hits = []
+        support.par_chunks(lambda lo, hi: hits.append((lo, hi)),
+                           1, 8, 1, workers=2)
+        assert support._PAR_POOL is not None
+        support._shutdown_pool()
+        assert support._PAR_POOL is None
+        assert support._PAR_POOL_WORKERS == 0
+        support._shutdown_pool()  # idempotent
+        # The pool is rebuilt lazily on the next parallel dispatch.
+        hits.clear()
+        support.par_chunks(lambda lo, hi: hits.append((lo, hi)),
+                           1, 8, 1, workers=2)
+        assert sorted(hits) == [(1, 4), (5, 8)]
+        assert support._PAR_POOL is not None
+
+    def test_interpreter_exit_is_clean_after_pool_use(self):
+        """A process that used the shared pool exits promptly (rc 0)."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.codegen.support import par_chunks\n"
+            "out = []\n"
+            "par_chunks(lambda lo, hi: out.append((lo, hi)),"
+            " 1, 100, 1, workers=4)\n"
+            "assert len(out) == 4\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
