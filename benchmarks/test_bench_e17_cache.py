@@ -41,7 +41,7 @@ def test_e17_warm_hit(benchmark):
     service.compile(WAVEFRONT, params=PARAMS)
     compiled = benchmark(service.compile, WAVEFRONT, PARAMS)
     assert compiled.report.strategy == "thunkless"
-    stats = service.stats()
+    stats = service.stats()["requests"]
     assert stats["misses"] == 1
     assert stats["hits"] >= 1
 
@@ -71,7 +71,7 @@ def test_e17_batch_throughput_dedup():
     results = service.compile_batch(requests, max_workers=4)
     batch_time = time.perf_counter() - started
     assert all(result.ok for result in results)
-    stats = service.stats()
+    stats = service.stats()["requests"]
     # 12 requests, 3 distinct compilations: dedup did the rest.
     assert stats["misses"] == 3
     assert stats["hits"] + stats["coalesced"] == 9
@@ -94,7 +94,7 @@ def test_e17_disk_tier_faster_than_pipeline(tmp_path):
     def disk_hit():
         service = CompileService(disk_dir=tmp_path)  # empty memory tier
         service.compile(WAVEFRONT, params=PARAMS)
-        assert service.stats()["disk_hits"] == 1
+        assert service.stats()["requests"]["disk_hits"] == 1
 
     warm_disk = best_of(disk_hit)
     print(f"\nE17 disk: cold {cold * 1e3:.3f}ms  "

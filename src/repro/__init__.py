@@ -74,6 +74,7 @@ from repro.program import (
 )
 from repro.service import (
     CompileRequest,
+    CompileResult,
     CompileService,
     fingerprint,
     fingerprint_program,
@@ -99,6 +100,7 @@ __all__ = [
     "CodegenOptions",
     "CompileError",
     "CompileRequest",
+    "CompileResult",
     "CompileService",
     "CompiledProgram",
     "Explanation",

@@ -15,8 +15,15 @@ explain
     Print the decision trace: why each schedule / in-place /
     vectorize / parallel / reuse decision was taken or rejected
     (``--json`` for the machine form).
+serve
+    Run the HTTP compile service (``repro.serve``): POST wire-schema
+    requests to ``/v1/compile``, stats at ``/stats``.
+serve-load
+    Drive a running server with N concurrent clients and print a
+    load report (``--check`` exits nonzero on 5xx/transport errors).
 serve-stats
-    Inspect the on-disk compile cache (entry count, bytes, strategies).
+    Inspect the on-disk compile cache (entry count, bytes,
+    strategies) — or, with ``--url``, a live server's ``/stats``.
 bench-check
     Compare two ``BENCH_<host>.json`` files (baseline, current) and
     exit nonzero on a regression beyond ``--tolerance``.
@@ -130,6 +137,56 @@ def _print_array(array):
             print("  ".join(f"{v!r:>8}" for v in row))
         return
     print(array.to_list())
+
+
+def _serve_command(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    return run_server(ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        queue_limit=args.queue_limit,
+        timeout_s=args.timeout,
+        capacity=args.capacity,
+        shards=args.shards,
+        disk_dir=_cache_dir(args.cache),
+    ))
+
+
+def _serve_load_command(args) -> int:
+    from repro.serve import LoadGenConfig, run_load
+
+    report = run_load(LoadGenConfig(
+        url=args.url,
+        clients=args.clients,
+        duration_s=args.duration,
+        max_requests=args.requests,
+        hit_rate=args.hit_rate,
+        seed=args.seed,
+    ))
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    if args.check:
+        ok, _ = report.check()
+        return 0 if ok else 1
+    return 0
+
+
+def _serve_stats_url(url: str) -> int:
+    import json
+    from urllib.request import urlopen
+
+    from repro.service.stats import render_stats
+
+    with urlopen(url.rstrip("/") + "/stats", timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    print(render_stats(payload))
+    return 0
 
 
 def _serve_stats(cache_dir) -> int:
@@ -275,8 +332,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command",
                         choices=["analyze", "compile", "run", "oracle",
-                                 "explain", "serve-stats",
-                                 "bench-check"])
+                                 "explain", "serve", "serve-load",
+                                 "serve-stats", "bench-check"])
     parser.add_argument("file", nargs="?",
                         help="source file, or - for stdin "
                              "(bench-check: the baseline json)")
@@ -326,9 +383,59 @@ def main(argv=None) -> int:
                         help="bench-check only: benchmarks missing "
                              "from the current run are notes, not "
                              "failures")
+    serve_group = parser.add_argument_group("serve / serve-load")
+    serve_group.add_argument("--host", default="127.0.0.1")
+    serve_group.add_argument("--port", type=int, default=8377,
+                             help="listen port (0 picks a free port)")
+    serve_group.add_argument("--serve-workers", type=int, default=0,
+                             metavar="N",
+                             help="compile worker processes "
+                                  "(0 = inline threads, the default)")
+    serve_group.add_argument("--queue-limit", type=int, default=32,
+                             metavar="N",
+                             help="requests in flight before shedding "
+                                  "with 429")
+    serve_group.add_argument("--timeout", type=float, default=30.0,
+                             metavar="SECONDS",
+                             help="per-request compile budget")
+    serve_group.add_argument("--shards", type=int, default=8,
+                             help="memory-tier shard count")
+    serve_group.add_argument("--capacity", type=int, default=512,
+                             help="memory-tier LRU capacity")
+    serve_group.add_argument("--url", default=None,
+                             help="serve-load/serve-stats: server "
+                                  "base URL")
+    serve_group.add_argument("--clients", type=int, default=8,
+                             help="serve-load: concurrent clients")
+    serve_group.add_argument("--duration", type=float, default=10.0,
+                             metavar="SECONDS",
+                             help="serve-load: run length")
+    serve_group.add_argument("--requests", type=int, default=0,
+                             metavar="N",
+                             help="serve-load: stop after N requests "
+                                  "(0 = duration only)")
+    serve_group.add_argument("--hit-rate", type=float, default=0.85,
+                             metavar="FRAC",
+                             help="serve-load: warm-set fraction of "
+                                  "the traffic mix")
+    serve_group.add_argument("--seed", type=int, default=1990,
+                             help="serve-load: traffic-mix seed")
+    serve_group.add_argument("--check", action="store_true",
+                             help="serve-load: exit nonzero on 5xx or "
+                                  "transport errors")
     args = parser.parse_args(argv)
 
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "serve-load":
+        if not args.url:
+            parser.error("serve-load needs --url http://HOST:PORT")
+        return _serve_load_command(args)
+
     if args.command == "serve-stats":
+        if args.url:
+            return _serve_stats_url(args.url)
         return _serve_stats(_cache_dir(args.cache))
 
     if args.command == "bench-check":

@@ -755,13 +755,13 @@ def _compile_dispatch(
         )
 
     if cache is not None and cache is not False:
+        from repro.service.api import CompileRequest
         from repro.service.service import resolve_cache
 
-        return resolve_cache(cache).compile(
-            src, params=params, options=options,
-            force_strategy=force_strategy,
-            strategy=resolved, old_array=old_array,
-        )
+        return resolve_cache(cache).submit(CompileRequest(
+            src, params, options, force_strategy, resolved, old_array,
+            kind="definition",
+        )).value()
 
     if resolved == "array":
         return _compile_array(src, params, options, force_strategy)

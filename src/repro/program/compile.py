@@ -112,12 +112,13 @@ def compile_program(
         (the pre-fusion behavior; the unfused baseline in benchmarks).
     """
     if cache is not None and cache is not False:
+        from repro.service.api import CompileRequest
         from repro.service.service import resolve_cache
 
-        return resolve_cache(cache).compile_program(
-            src, params=params, options=options, result=result,
+        return resolve_cache(cache).submit(CompileRequest(
+            src, params, options, kind="program", result=result,
             fuse=fuse,
-        )
+        )).value()
 
     with trace_scope("compile-program") as scope, dependence_memo():
         program = _compile_program_traced(src, params, options, result,

@@ -1,0 +1,39 @@
+"""repro.serve — production front end for the compile service.
+
+An asyncio HTTP/JSON endpoint (:mod:`repro.serve.server`) over a pool
+of compile workers (:mod:`repro.serve.pool`), speaking the versioned
+wire schema of :mod:`repro.service.api`.  Stdlib only — the HTTP
+framing is hand-rolled over asyncio streams.
+
+Quick start::
+
+    python -m repro serve --port 8377 --serve-workers 2 --cache .cache
+    curl -s localhost:8377/v1/compile \\
+        -d '{"src": "array (1,8) [ (i) := i*i | i <- [1..8] ]"}'
+
+Load-test it with :mod:`repro.serve.loadgen`::
+
+    python -m repro serve-load --url http://127.0.0.1:8377 \\
+        --clients 8 --duration 10 --check
+"""
+
+from repro.serve.loadgen import LoadGenConfig, LoadReport, run_load
+from repro.serve.pool import CRASH_ENV, CompilePool
+from repro.serve.server import (
+    CompileServer,
+    ServeConfig,
+    ServeMetrics,
+    run_server,
+)
+
+__all__ = [
+    "CRASH_ENV",
+    "CompilePool",
+    "CompileServer",
+    "LoadGenConfig",
+    "LoadReport",
+    "ServeConfig",
+    "ServeMetrics",
+    "run_load",
+    "run_server",
+]

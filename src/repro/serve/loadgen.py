@@ -1,0 +1,269 @@
+"""Load generator for the compile service endpoint.
+
+Drives N concurrent clients (threads; each owns a keep-alive
+``http.client.HTTPConnection``) against a running server with a
+realistic mix of traffic:
+
+* a **warm set** drawn from the kernel catalogs
+  (:data:`repro.kernels.CATALOG` + :data:`~repro.kernels.PROGRAM_CATALOG`)
+  — repeated sources that should be cache hits after the first touch;
+* **cold** randomized comprehensions — unique sources that always
+  compile fresh (constants varied per request so fingerprints differ).
+
+``hit_rate`` sets the warm fraction of the mix.  The run is seeded and
+otherwise deterministic in *what* it sends; throughput and latency are
+whatever the server achieves.  :class:`LoadReport` aggregates per-status
+counts, throughput, and latency quantiles; ``check()`` is the CI gate
+(some traffic completed, zero 5xx, zero transport errors).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+#: Warm-set kernels: catalog name -> params (small shapes so a cold
+#: compile stays fast; inplace kernels carry their old-array binding).
+_WARM_KERNELS: Dict[str, Dict] = {
+    "wavefront": {"params": {"n": 12}},
+    "squares": {"params": {"n": 64}},
+    "matmul": {"params": {"n": 6}},
+    "stride3": {"params": {"n": 30}},
+    "forward_recurrence": {"params": {"n": 40}},
+    "jacobi": {"params": {"m": 8}},
+    "sor": {"params": {"m": 8, "omega": 1.25}},
+}
+
+_WARM_PROGRAMS = ("program_pipeline", "program_jacobi_steps")
+
+
+def warm_requests() -> List[Dict]:
+    """The warm-set wire requests (deterministic order)."""
+    from repro.kernels import CATALOG, PROGRAM_CATALOG
+
+    out: List[Dict] = []
+    for name, extra in _WARM_KERNELS.items():
+        entry = CATALOG[name]
+        req: Dict[str, object] = {
+            "src": entry["source"],
+            "params": extra["params"],
+        }
+        if entry.get("old"):
+            req["old_array"] = entry["old"]
+            req["strategy"] = "inplace"
+        out.append(req)
+    for name in _WARM_PROGRAMS:
+        entry = PROGRAM_CATALOG[name]
+        out.append({
+            "src": entry["source"],
+            "params": dict(entry["params"]),
+            "kind": "program",
+        })
+    return out
+
+
+def cold_request(rng: random.Random) -> Dict:
+    """A unique single-definition request (fresh fingerprint)."""
+    n = rng.randint(8, 24)
+    a, b = rng.randint(1, 9), rng.randint(1, 9)
+    shape = rng.randrange(3)
+    if shape == 0:
+        src = (f"array (1,{n}) [ (i) := {a}*i + {b} "
+               f"| i <- [1..{n}] ]")
+    elif shape == 1:
+        src = (f"array (1,{n}) [ (i) := {a}*i*i - {b}*i "
+               f"| i <- [1..{n}] ]")
+    else:
+        src = (f"letrec* a = array (1,{n}) "
+               f"([ (1) := {a} ] ++ "
+               f"[ (i) := a!(i-1) + {b} | i <- [2..{n}] ]) in a")
+    return {"src": src}
+
+
+@dataclass
+class LoadGenConfig:
+    url: str = "http://127.0.0.1:8377"
+    clients: int = 8
+    #: Stop after this many seconds (wall clock)...
+    duration_s: float = 10.0
+    #: ...or after this many total requests, whichever first
+    #: (0 = no request cap).
+    max_requests: int = 0
+    #: Fraction of requests drawn from the warm set.
+    hit_rate: float = 0.85
+    seed: int = 1990
+    timeout_s: float = 60.0
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    clients: int = 0
+    duration_s: float = 0.0
+    completed: int = 0
+    statuses: Dict[int, int] = field(default_factory=dict)
+    transport_errors: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def count_5xx(self) -> int:
+        return sum(n for code, n in self.statuses.items() if code >= 500)
+
+    def quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def check(self) -> Tuple[bool, str]:
+        """CI gate: traffic flowed, nothing 5xx'd, transport clean."""
+        if self.completed == 0:
+            return False, "no request completed"
+        if self.count_5xx:
+            return False, f"{self.count_5xx} responses were 5xx"
+        if self.transport_errors:
+            return False, f"{self.transport_errors} transport errors"
+        return True, (
+            f"{self.completed} requests, "
+            f"{self.throughput_rps:.1f} req/s, zero 5xx"
+        )
+
+    def to_json(self) -> Dict:
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 3),
+            "completed": self.completed,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "statuses": {str(k): v
+                         for k, v in sorted(self.statuses.items())},
+            "transport_errors": self.transport_errors,
+            "p50_s": round(self.quantile(0.50), 6),
+            "p95_s": round(self.quantile(0.95), 6),
+            "p99_s": round(self.quantile(0.99), 6),
+        }
+
+    def render(self) -> str:
+        ok, why = self.check()
+        lines = [
+            f"load: {self.clients} clients, "
+            f"{self.duration_s:.1f}s, {self.completed} requests "
+            f"({self.throughput_rps:.1f} req/s)",
+            "statuses: " + (", ".join(
+                f"{code}={n}" for code, n in sorted(self.statuses.items())
+            ) or "none")
+            + (f", transport-errors={self.transport_errors}"
+               if self.transport_errors else ""),
+            f"latency: p50={self.quantile(0.5) * 1e3:.1f}ms "
+            f"p95={self.quantile(0.95) * 1e3:.1f}ms "
+            f"p99={self.quantile(0.99) * 1e3:.1f}ms",
+            f"check: {'PASS' if ok else 'FAIL'} — {why}",
+        ]
+        return "\n".join(lines)
+
+
+class _Client(threading.Thread):
+    """One load client: keep-alive connection, warm/cold request mix."""
+
+    def __init__(self, index: int, config: LoadGenConfig,
+                 warm: List[Dict], deadline: float,
+                 budget: "_SharedBudget"):
+        super().__init__(name=f"loadgen-{index}", daemon=True)
+        self.config = config
+        self.warm = warm
+        self.deadline = deadline
+        self.budget = budget
+        self.rng = random.Random(config.seed * 9973 + index)
+        self.statuses: Dict[int, int] = {}
+        self.latencies: List[float] = []
+        self.transport_errors = 0
+
+    def run(self) -> None:
+        parts = urlsplit(self.config.url)
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port or 80
+        conn = http.client.HTTPConnection(
+            host, port, timeout=self.config.timeout_s,
+        )
+        try:
+            while perf_counter() < self.deadline and self.budget.take():
+                payload = (
+                    self.rng.choice(self.warm)
+                    if self.rng.random() < self.config.hit_rate
+                    else cold_request(self.rng)
+                )
+                body = json.dumps(payload).encode("utf-8")
+                started = perf_counter()
+                try:
+                    conn.request(
+                        "POST", "/v1/compile", body,
+                        {"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    status = response.status
+                except (http.client.HTTPException, OSError):
+                    self.transport_errors += 1
+                    conn.close()
+                    continue
+                self.latencies.append(perf_counter() - started)
+                self.statuses[status] = self.statuses.get(status, 0) + 1
+        finally:
+            conn.close()
+
+
+class _SharedBudget:
+    """Optional shared request cap across clients (0 = unbounded)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self._left = limit
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        if not self.limit:
+            return True
+        with self._lock:
+            if self._left <= 0:
+                return False
+            self._left -= 1
+            return True
+
+
+def run_load(config: Optional[LoadGenConfig] = None) -> LoadReport:
+    """Run the configured load against a live server; blocks."""
+    config = config or LoadGenConfig()
+    warm = warm_requests()
+    started = perf_counter()
+    deadline = started + config.duration_s
+    budget = _SharedBudget(config.max_requests)
+    clients = [
+        _Client(i, config, warm, deadline, budget)
+        for i in range(config.clients)
+    ]
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+    report = LoadReport(
+        clients=config.clients,
+        duration_s=perf_counter() - started,
+    )
+    for client in clients:
+        report.transport_errors += client.transport_errors
+        report.latencies_s.extend(client.latencies)
+        for code, n in client.statuses.items():
+            report.statuses[code] = report.statuses.get(code, 0) + n
+    report.completed = sum(report.statuses.values())
+    return report

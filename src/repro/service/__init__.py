@@ -11,20 +11,28 @@ memoized.  This package turns the per-call compiler into a service:
 * :mod:`repro.service.store` — a two-tier cache: in-memory LRU of live
   :class:`~repro.codegen.compile.CompiledComp` objects over an optional
   on-disk store of generated source + pickled reports;
+* :mod:`repro.service.api` — the typed request/response surface:
+  :class:`CompileRequest`/:class:`CompileResult` and their versioned
+  JSON wire schema (shared with the HTTP endpoint in
+  :mod:`repro.serve`);
 * :mod:`repro.service.service` — :class:`CompileService` with
-  ``compile()``, ``compile_batch()`` (thread-pool fan-out, per-entry
-  isolation, in-flight deduplication) and ``warmup()``;
-* :mod:`repro.service.metrics` — hit/miss/eviction counters, a compile
-  wall-time histogram, and per-pass timings threaded out of the
-  pipeline's :class:`~repro.core.pipeline.Report`.
+  ``submit()`` (single request, batch fan-out with per-entry
+  isolation and in-flight deduplication, or cache warming via
+  ``warm_only=True``); the pre-redesign ``compile`` /
+  ``compile_program`` / ``compile_batch`` / ``warmup`` survive as
+  deprecated shims;
+* :mod:`repro.service.metrics` / :mod:`repro.service.stats` —
+  hit/miss/eviction counters, latency histograms with p50/p95/p99,
+  per-pass timings, all rendered into one versioned stats schema.
 
 Quick start::
 
-    from repro.service import CompileService
+    from repro.service import CompileRequest, CompileService
 
     svc = CompileService(capacity=128, disk_dir="~/.cache/repro")
-    compiled = svc.compile(src, params={"n": 100})   # miss: full pipeline
-    compiled = svc.compile(src, params={"n": 100})   # hit: no analysis
+    result = svc.submit(CompileRequest(src, params={"n": 100}))  # miss
+    result = svc.submit(CompileRequest(src, params={"n": 100}))  # hit
+    compiled = result.value()
     print(svc.summary())
 
 Or through the pipeline front door::
@@ -33,6 +41,16 @@ Or through the pipeline front door::
     compiled = compile_array(src, params={"n": 100}, cache=True)
 """
 
+from repro.service.api import (
+    WIRE_SCHEMA,
+    BatchResult,
+    CompileRequest,
+    CompileResult,
+    WireError,
+    decode_requests,
+    encode_requests,
+    encode_results,
+)
 from repro.service.fingerprint import (
     PIPELINE_SALT,
     canonical_comp,
@@ -42,34 +60,46 @@ from repro.service.fingerprint import (
 )
 from repro.service.metrics import Histogram, ServiceMetrics
 from repro.service.service import (
-    BatchResult,
-    CompileRequest,
     CompileService,
     default_service,
     resolve_cache,
 )
+from repro.service.stats import STATS_SCHEMA, render_stats, service_stats
 from repro.service.store import (
     DEFAULT_CACHE_DIR,
     DiskStore,
     MemoryLRU,
+    ShardedLRU,
     TieredStore,
+    shard_index,
 )
 
 __all__ = [
     "BatchResult",
     "CompileRequest",
+    "CompileResult",
     "CompileService",
     "DEFAULT_CACHE_DIR",
     "DiskStore",
     "Histogram",
     "MemoryLRU",
     "PIPELINE_SALT",
+    "STATS_SCHEMA",
     "ServiceMetrics",
+    "ShardedLRU",
     "TieredStore",
+    "WIRE_SCHEMA",
+    "WireError",
     "canonical_comp",
     "canonical_expr",
+    "decode_requests",
     "default_service",
+    "encode_requests",
+    "encode_results",
     "fingerprint",
     "fingerprint_program",
+    "render_stats",
     "resolve_cache",
+    "service_stats",
+    "shard_index",
 ]

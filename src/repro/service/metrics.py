@@ -48,6 +48,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Resolution is the bucket grid: the answer is the upper edge of
+        the bucket holding the ``q``-th observation (the true max for
+        the last bucket, which has no finite edge).  Good enough for
+        p50/p95/p99 service dashboards; exact client-side latencies
+        live in the load generator.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for edge, n in zip(self.BUCKETS, self.counts):
+            seen += n
+            if seen >= rank:
+                if edge == float("inf"):
+                    return self.max if self.max is not None else 0.0
+                return edge
+        return self.max if self.max is not None else 0.0
+
     def stats(self) -> Dict:
         return {
             "count": self.count,
@@ -55,6 +76,9 @@ class Histogram:
             "mean_s": self.mean,
             "min_s": self.min,
             "max_s": self.max,
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
             "buckets": {
                 ("inf" if edge == float("inf") else f"<={edge:g}s"): n
                 for edge, n in zip(self.BUCKETS, self.counts)

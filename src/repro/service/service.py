@@ -1,70 +1,78 @@
 """The compile service front end.
 
-:class:`CompileService` memoizes :func:`repro.compile` behind
-canonical fingerprints (see :mod:`repro.service.fingerprint`) and a
-two-tier store (see :mod:`repro.service.store`):
+:class:`CompileService` memoizes :func:`repro.compile` and
+:func:`repro.compile_program` behind canonical fingerprints (see
+:mod:`repro.service.fingerprint`) and a two-tier store (see
+:mod:`repro.service.store`).  The entry point is
+:meth:`CompileService.submit`:
 
-* ``compile()`` — one request; a hit skips the entire pipeline
+* ``submit(CompileRequest(...))`` — one request (definition or
+  program, detected from the source); a hit skips the entire pipeline
   (including the dependence tests, the expensive part per E11);
-* ``compile_batch()`` — thread-pool fan-out over many requests with
-  per-entry isolation (one bad source yields one errored
-  :class:`BatchResult`, never a dead batch) and in-flight
+* ``submit([req, req, ...])`` — thread-pool fan-out with per-entry
+  isolation (one bad source yields one errored
+  :class:`CompileResult`, never a dead batch) and in-flight
   deduplication (identical concurrent requests compile once; the rest
   wait on the first's future);
-* ``warmup()`` — pre-populate the cache, e.g. at process start from a
-  kernel catalog.
+* ``submit(CompileRequest(..., warm_only=True))`` — cache warming,
+  e.g. at process start from a kernel catalog.
 
-The service returns the *same* :class:`CompiledComp` object for
-repeated hits; compiled objects are treated as immutable.  Mutating a
-cached object's report would poison later hits — don't.
+The pre-redesign methods — ``compile``, ``compile_program``,
+``compile_batch``, ``warmup`` — survive as thin deprecated wrappers
+over ``submit`` and produce byte-identical artifacts.
+
+Concurrency: the memory tier is sharded by fingerprint prefix
+(:class:`~repro.service.store.ShardedLRU`) and in-flight coalescing
+is sharded the same way, so requests only serialize against requests
+on the same shard.  The service returns the *same* compiled object
+for repeated hits; compiled objects are treated as immutable.
+Mutating a cached object's report would poison later hits — don't.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import replace
 from threading import Lock
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.codegen.compile import CompiledComp
 from repro.obs.trace import count as _trace_count
+from repro.service.api import (
+    BatchResult,
+    CompileRequest,
+    CompileResult,
+)
 from repro.service.fingerprint import PIPELINE_SALT, _options_key
 from repro.service.fingerprint import fingerprint as _fingerprint
+from repro.service.metrics import ServiceMetrics
+from repro.service.stats import service_stats
+from repro.service.store import (
+    DiskStore,
+    MemoryLRU,
+    ShardedLRU,
+    TieredStore,
+    shard_index,
+)
 
 #: Exact-text fingerprint memo entries kept per service (see
 #: :meth:`CompileService.fingerprint`).
 _FP_MEMO_CAP = 4096
-from repro.service.metrics import ServiceMetrics
-from repro.service.store import DiskStore, MemoryLRU, TieredStore
+
+#: Default shard count for the memory tier and the in-flight table.
+DEFAULT_SHARDS = 8
 
 
-@dataclass
-class CompileRequest:
-    """One unit of batch work (mirrors ``repro.compile``'s signature)."""
-
-    src: object
-    params: Optional[Dict] = None
-    options: object = None
-    force_strategy: Optional[str] = None
-    strategy: str = "array"
-    old_array: Optional[str] = None
-
-
-@dataclass
-class BatchResult:
-    """Outcome of one request in a batch, in request order."""
-
-    index: int
-    fingerprint: Optional[str] = None
-    compiled: Optional[CompiledComp] = None
-    error: Optional[BaseException] = field(default=None, repr=False)
-    cached: bool = False
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"CompileService.{old}() is deprecated; use "
+        f"CompileService.submit({new})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class CompileService:
@@ -73,7 +81,8 @@ class CompileService:
     Parameters
     ----------
     capacity:
-        Memory-tier LRU capacity (live ``CompiledComp`` objects).
+        Memory-tier LRU capacity (live ``CompiledComp`` objects),
+        summed across shards.
     disk_dir / disk:
         Enable the persistent tier: either a directory, or ``True``
         for the default ``~/.cache/repro`` (override with the
@@ -83,6 +92,10 @@ class CompileService:
     salt:
         Pipeline version salt; requests fingerprinted under a
         different salt never see each other's entries.
+    shards:
+        Memory-tier and in-flight-table shard count (per-shard locks;
+        requests on different shards never contend).  ``1`` restores
+        the single-lock :class:`MemoryLRU`.
     """
 
     def __init__(
@@ -92,27 +105,38 @@ class CompileService:
         disk: bool = False,
         salt: str = PIPELINE_SALT,
         max_workers: Optional[int] = None,
+        shards: int = DEFAULT_SHARDS,
     ):
         disk_store = None
         if disk_dir is not None or disk:
             disk_store = DiskStore(disk_dir, salt=salt)
-        self.store = TieredStore(MemoryLRU(capacity), disk_store)
+        if shards > 1:
+            memory = ShardedLRU(capacity, shards)
+        else:
+            memory = MemoryLRU(capacity)
+        self.store = TieredStore(memory, disk_store)
         self.salt = salt
         self.metrics = ServiceMetrics()
         self.max_workers = max_workers
+        self.shards = getattr(memory, "shard_count", 1)
+        #: Per-shard in-flight tables: requests only serialize against
+        #: the shard their fingerprint lands on.
+        self._flight = [
+            (Lock(), {}) for _ in range(self.shards)
+        ]
         self._lock = Lock()
-        self._inflight: Dict[str, Future] = {}
         # Exact-text memo over the canonical fingerprint: identical
         # request *texts* skip re-parsing; renamed or re-formatted
         # variants still funnel through canonicalization below.
         self._fp_memo: Dict[tuple, str] = {}
 
     # ------------------------------------------------------------------
+    # Fingerprints.
 
     def fingerprint(self, src, params=None, options=None,
                     force_strategy=None, strategy="array",
                     old_array=None) -> str:
-        """The cache key this service would use for a request.
+        """The cache key this service would use for a definition.
 
         Canonical fingerprinting re-parses the source; for the hot
         path (the same text compiled over and over) an exact-text memo
@@ -133,29 +157,8 @@ class CompileService:
             force_strategy=force_strategy, strategy=strategy,
             old_array=old_array, salt=self.salt,
         )
-        if memo_key is not None:
-            with self._lock:
-                if len(self._fp_memo) >= _FP_MEMO_CAP:
-                    self._fp_memo.clear()
-                self._fp_memo[memo_key] = key
+        self._memoize_fp(memo_key, key)
         return key
-
-    def compile(self, src, params=None, options=None,
-                force_strategy=None, strategy="array",
-                old_array=None) -> CompiledComp:
-        """Compile through the cache; semantics of ``repro.compile``."""
-        key = self.fingerprint(src, params, options, force_strategy,
-                               strategy, old_array)
-
-        def build():
-            from repro.core import pipeline
-
-            return pipeline.compile(
-                src, strategy=strategy, params=params, options=options,
-                force_strategy=force_strategy, old_array=old_array,
-            )
-
-        return self._cached(key, build)
 
     def fingerprint_program(self, src, params=None, options=None,
                             result=None, fuse=True) -> str:
@@ -176,50 +179,147 @@ class CompileService:
             src, params=params, options=options, result=result,
             fuse=fuse, salt=self.salt,
         )
-        if memo_key is not None:
-            with self._lock:
-                if len(self._fp_memo) >= _FP_MEMO_CAP:
-                    self._fp_memo.clear()
-                self._fp_memo[memo_key] = key
+        self._memoize_fp(memo_key, key)
         return key
 
-    def compile_program(self, src, params=None, options=None,
-                        result=None, fuse=True):
-        """Whole-program compile through the cache.
+    def _memoize_fp(self, memo_key, key: str) -> None:
+        if memo_key is None:
+            return
+        with self._lock:
+            if len(self._fp_memo) >= _FP_MEMO_CAP:
+                self._fp_memo.clear()
+            self._fp_memo[memo_key] = key
 
-        Same store/in-flight discipline as :meth:`compile`;
-        :class:`~repro.program.run.CompiledProgram` objects pickle
-        through the disk tier like single definitions do.
+    def fingerprint_request(self, request: CompileRequest) -> str:
+        """The cache key for a normalized typed request."""
+        if self._request_kind(request) == "program":
+            return self.fingerprint_program(
+                request.src, request.params, request.options,
+                request.result, request.fuse,
+            )
+        return self.fingerprint(
+            request.src, request.params, request.options,
+            request.force_strategy, request.strategy,
+            request.old_array,
+        )
+
+    # ------------------------------------------------------------------
+    # The typed entry point.
+
+    def submit(self, request, max_workers: Optional[int] = None):
+        """Run one request or a batch through the cache.
+
+        A single :class:`CompileRequest` (or anything
+        :meth:`_normalize` accepts: a source value, a ``(src,
+        params)`` tuple, a kwargs dict) returns one
+        :class:`CompileResult`.  A *list* of requests fans out over a
+        thread pool and returns a list of results in request order.
+        Errors are captured per result (``result.error``), never
+        raised — batch neighbours are isolated; call
+        :meth:`CompileResult.value` to re-raise.
         """
-        key = self.fingerprint_program(src, params, options, result, fuse)
+        if isinstance(request, list):
+            return self._submit_batch(request, max_workers)
+        return self._submit_one(self._normalize(request), 0)
 
-        def build():
-            from repro.program.compile import compile_program
+    def _submit_batch(self, requests: Sequence,
+                      max_workers: Optional[int]) -> List[CompileResult]:
+        normalized = [self._normalize(req) for req in requests]
+        self.metrics.record_batch(len(normalized))
+        if not normalized:
+            return []
+        workers = max_workers or self.max_workers or min(
+            8, len(normalized), (os.cpu_count() or 2)
+        )
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._submit_one, req, index)
+                for index, req in enumerate(normalized)
+            ]
+            return [future.result() for future in futures]
 
-            return compile_program(src, params=params, options=options,
-                                   result=result, fuse=fuse)
+    def _submit_one(self, request: CompileRequest,
+                    index: int = 0) -> CompileResult:
+        started = perf_counter()
+        out = CompileResult(index=index, warm_only=request.warm_only)
+        try:
+            kind = self._request_kind(request)
+            out.kind = kind
+            key = self.fingerprint_request(request)
+            out.fingerprint = key
+            out.compiled, out.tier = self._cached(
+                key, self._builder(request, kind)
+            )
+            out.cached = out.tier is not None
+        except BaseException as exc:  # per-request isolation
+            out.error = exc
+        out.elapsed_s = perf_counter() - started
+        return out
 
-        return self._cached(key, build)
+    def _request_kind(self, request: CompileRequest) -> str:
+        kind = request.kind or "auto"
+        if kind == "auto":
+            from repro.program.compile import as_program
+
+            return "program" if as_program(request.src) is not None \
+                else "definition"
+        if kind not in ("definition", "program"):
+            raise ValueError(
+                f"unknown request kind {kind!r} (expected 'auto', "
+                "'definition', or 'program')"
+            )
+        return kind
+
+    def _builder(self, request: CompileRequest, kind: str):
+        if kind == "program":
+            def build():
+                from repro.program.compile import compile_program
+
+                return compile_program(
+                    request.src, params=request.params,
+                    options=request.options, result=request.result,
+                    fuse=request.fuse,
+                )
+        else:
+            def build():
+                from repro.core import pipeline
+
+                return pipeline.compile(
+                    request.src, strategy=request.strategy,
+                    params=request.params, options=request.options,
+                    force_strategy=request.force_strategy,
+                    old_array=request.old_array,
+                )
+        return build
 
     def _cached(self, key: str, build):
-        """Store lookup -> in-flight dedup -> build -> store put."""
+        """Store lookup -> per-shard in-flight dedup -> build -> put.
+
+        Returns ``(compiled, tier)`` — ``tier`` is the store tier that
+        served a hit, ``None`` when this call (or an in-flight leader
+        it coalesced onto) ran the pipeline.
+        """
         started = perf_counter()
         compiled, tier = self.store.get(key)
+        shard = shard_index(key, self.shards)
         if compiled is not None:
             self.metrics.record_hit(tier, perf_counter() - started)
             _trace_count(f"service.hit.{tier or 'memory'}")
-            return compiled
+            _trace_count(f"service.shard.{shard}.hit")
+            return compiled, tier
 
-        with self._lock:
-            future = self._inflight.get(key)
+        _trace_count(f"service.shard.{shard}.miss")
+        lock, inflight = self._flight[shard]
+        with lock:
+            future = inflight.get(key)
             leader = future is None
             if leader:
                 future = Future()
-                self._inflight[key] = future
+                inflight[key] = future
         if not leader:
             self.metrics.record_coalesced()
             _trace_count("service.coalesced")
-            return future.result()
+            return future.result(), None
 
         try:
             started = perf_counter()
@@ -231,78 +331,14 @@ class CompileService:
             )
             _trace_count("service.miss")
             future.set_result(compiled)
-            return compiled
+            return compiled, None
         except BaseException as exc:
             self.metrics.record_error()
             future.set_exception(exc)
             raise
         finally:
-            with self._lock:
-                self._inflight.pop(key, None)
-
-    # ------------------------------------------------------------------
-
-    def compile_batch(
-        self,
-        requests: Sequence,
-        max_workers: Optional[int] = None,
-    ) -> List[BatchResult]:
-        """Compile many requests concurrently, one result per request.
-
-        Each request is a :class:`CompileRequest`, a plain source
-        value, or a ``(src, params)`` tuple.  Results come back in
-        request order; a failing entry carries its exception in
-        ``error`` and never affects its neighbours.  Identical
-        requests (same fingerprint) are compiled exactly once.
-        """
-        normalized = [self._normalize(req) for req in requests]
-        self.metrics.record_batch(len(normalized))
-        if not normalized:
-            return []
-        workers = max_workers or self.max_workers or min(
-            8, len(normalized), (os.cpu_count() or 2)
-        )
-
-        def run_one(index: int, req: CompileRequest) -> BatchResult:
-            result = BatchResult(index=index)
-            try:
-                result.fingerprint = self.fingerprint(
-                    req.src, req.params, req.options, req.force_strategy,
-                    req.strategy, req.old_array,
-                )
-                result.cached = (
-                    self.store.get(result.fingerprint)[0] is not None
-                )
-                result.compiled = self.compile(
-                    req.src, params=req.params, options=req.options,
-                    force_strategy=req.force_strategy,
-                    strategy=req.strategy, old_array=req.old_array,
-                )
-            except BaseException as exc:  # per-entry isolation
-                result.error = exc
-            return result
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(run_one, index, req)
-                for index, req in enumerate(normalized)
-            ]
-            return [future.result() for future in futures]
-
-    def warmup(self, requests: Sequence,
-               max_workers: Optional[int] = None) -> Dict[str, int]:
-        """Pre-populate the cache; returns counts of what happened."""
-        results = self.compile_batch(requests, max_workers=max_workers)
-        summary = {"total": len(results), "compiled": 0,
-                   "cached": 0, "errors": 0}
-        for result in results:
-            if not result.ok:
-                summary["errors"] += 1
-            elif result.cached:
-                summary["cached"] += 1
-            else:
-                summary["compiled"] += 1
-        return summary
+            with lock:
+                inflight.pop(key, None)
 
     @staticmethod
     def _normalize(req) -> CompileRequest:
@@ -313,6 +349,65 @@ class CompileService:
         if isinstance(req, dict):
             return CompileRequest(**req)
         return CompileRequest(req)
+
+    # ------------------------------------------------------------------
+    # Deprecated pre-redesign methods (thin shims over submit()).
+
+    def compile(self, src, params=None, options=None,
+                force_strategy=None, strategy="array",
+                old_array=None) -> CompiledComp:
+        """Deprecated: ``submit(CompileRequest(...))``."""
+        _deprecated("compile", "CompileRequest(src, ...)")
+        return self.submit(CompileRequest(
+            src, params, options, force_strategy, strategy, old_array,
+            kind="definition",
+        )).value()
+
+    def compile_program(self, src, params=None, options=None,
+                        result=None, fuse=True):
+        """Deprecated: ``submit(CompileRequest(..., kind="program"))``."""
+        _deprecated("compile_program",
+                    'CompileRequest(src, kind="program", ...)')
+        return self.submit(CompileRequest(
+            src, params, options, kind="program", result=result,
+            fuse=fuse,
+        )).value()
+
+    def compile_batch(
+        self,
+        requests: Sequence,
+        max_workers: Optional[int] = None,
+    ) -> List[BatchResult]:
+        """Deprecated: ``submit([request, ...])``."""
+        _deprecated("compile_batch", "[request, ...]")
+        return self.submit(list(requests), max_workers=max_workers)
+
+    def warmup(self, requests: Sequence,
+               max_workers: Optional[int] = None) -> Dict[str, int]:
+        """Deprecated: ``submit`` with ``warm_only=True`` requests.
+
+        Still returns the pre-redesign summary counts.  Unlike the
+        original, program sources warm correctly: kind auto-detection
+        routes them through the program pipeline instead of failing
+        the single-definition parser.
+        """
+        _deprecated("warmup",
+                    "[CompileRequest(..., warm_only=True), ...]")
+        warmed = [
+            replace(self._normalize(req), warm_only=True)
+            for req in requests
+        ]
+        results = self.submit(warmed, max_workers=max_workers)
+        summary = {"total": len(results), "compiled": 0,
+                   "cached": 0, "errors": 0}
+        for result in results:
+            if not result.ok:
+                summary["errors"] += 1
+            elif result.cached:
+                summary["cached"] += 1
+            else:
+                summary["compiled"] += 1
+        return summary
 
     # ------------------------------------------------------------------
 
@@ -329,33 +424,25 @@ class CompileService:
         self.store.clear()
 
     def stats(self) -> Dict:
-        """Service metrics plus store occupancy, as a plain dict."""
-        stats = self.metrics.stats()
-        stats["memory_entries"] = len(self.store.memory)
-        stats["memory_capacity"] = self.store.memory.capacity
-        stats["evictions"] = self.store.memory.evictions
-        if self.store.disk is not None:
-            entries = list(self.store.disk.entries())
-            stats["disk_entries"] = len(entries)
-            stats["disk_bytes"] = sum(size for _, size in entries)
-            stats["disk_dir"] = str(self.store.disk.root)
-            stats["disk_read_errors"] = self.store.disk.read_errors
-            stats["disk_write_errors"] = self.store.disk.write_errors
-        return stats
+        """The versioned stats payload (see :mod:`repro.service.stats`)."""
+        return service_stats(self)
 
     def summary(self) -> str:
         """Human-readable account of the service's life so far."""
         stats = self.stats()
+        store = stats["store"]
         lines = [self.metrics.render()]
+        mem = store["memory"]
         lines.append(
-            f"  memory tier: {stats['memory_entries']}/"
-            f"{stats['memory_capacity']} entries, "
-            f"{stats['evictions']} eviction(s)"
+            f"  memory tier: {mem['entries']}/{mem['capacity']} "
+            f"entries across {mem['shards']} shard(s), "
+            f"{mem['evictions']} eviction(s)"
         )
-        if "disk_entries" in stats:
+        disk = store["disk"]
+        if disk is not None:
             lines.append(
-                f"  disk tier: {stats['disk_entries']} entries, "
-                f"{stats['disk_bytes']} bytes at {stats['disk_dir']}"
+                f"  disk tier: {disk['entries']} entries, "
+                f"{disk['bytes']} bytes at {disk['dir']}"
             )
         return "\n".join(lines)
 

@@ -382,7 +382,7 @@ class TestFacade:
         second = service.compile_program(spec["source"],
                                          params=spec["params"])
         assert first is second
-        assert service.stats()["misses"] == 1
+        assert service.stats()["requests"]["misses"] == 1
 
     def test_cache_kwarg_routes_through_service(self):
         service = repro.CompileService()

@@ -40,7 +40,7 @@ class TestAccounting:
         second = service.compile(kernels.WAVEFRONT, params={"n": 6})
         assert first is second
         assert counting_pipeline["count"] == 1
-        stats = service.stats()
+        stats = service.stats()["requests"]
         assert stats["misses"] == 1
         assert stats["hits"] == 1
         assert stats["memory_hits"] == 1
@@ -58,7 +58,7 @@ class TestAccounting:
         monkeypatch.setattr(pipeline_mod, "flow_edges", boom)
         again = service.compile(kernels.WAVEFRONT, params={"n": 6})
         assert again is compiled
-        assert service.stats()["hits"] == 1
+        assert service.stats()["requests"]["hits"] == 1
 
     def test_cached_result_equals_uncached(self):
         service = CompileService()
@@ -87,14 +87,14 @@ class TestAccounting:
         service.compile(kernels.SQUARES, params={"n": 5})
         service.compile(kernels.SQUARES, params={"n": 4})  # evicted
         assert counting_pipeline["count"] == 3
-        assert service.stats()["evictions"] == 2
+        assert service.stats()["store"]["memory"]["evictions"] == 2
 
     def test_errors_are_counted_and_propagate(self):
         service = CompileService()
         with pytest.raises(CompileError):
             service.compile(kernels.SQUARES, params={"n": 4},
                             force_strategy="bogus")
-        assert service.stats()["errors"] == 1
+        assert service.stats()["requests"]["errors"] == 1
 
     def test_invalidate_forces_recompile(self, counting_pipeline):
         service = CompileService()
@@ -110,7 +110,7 @@ class TestAccounting:
         bumped = CompileService(disk_dir=tmp_path, salt="v2")
         bumped.compile(kernels.SQUARES, params={"n": 4})
         assert counting_pipeline["count"] == 2
-        assert bumped.stats()["disk_hits"] == 0
+        assert bumped.stats()["requests"]["disk_hits"] == 0
 
     def test_disk_tier_survives_service_restart(self, tmp_path,
                                                 counting_pipeline):
@@ -120,7 +120,7 @@ class TestAccounting:
         reborn = CompileService(disk_dir=tmp_path)
         compiled = reborn.compile(kernels.WAVEFRONT, params={"n": 6})
         assert counting_pipeline["count"] == 1
-        assert reborn.stats()["disk_hits"] == 1
+        assert reborn.stats()["requests"]["disk_hits"] == 1
         assert compiled({"n": 6}).to_list()
         assert "disk tier" in reborn.summary()
 
@@ -159,7 +159,7 @@ class TestBatch:
         assert all(r.ok for r in results)
         assert len({id(r.compiled) for r in results}) == 1
         assert counting_pipeline["count"] == 1
-        stats = service.stats()
+        stats = service.stats()["requests"]
         assert stats["misses"] == 1
         assert stats["hits"] + stats["coalesced"] == 7
         assert stats["batch_requests"] == 8
@@ -203,7 +203,7 @@ class TestPipelineWiring:
         repro.compile(kernels.SQUARES, params={"n": 4}, cache=service)
         repro.compile(kernels.SQUARES, params={"n": 4}, cache=service)
         assert counting_pipeline["count"] == 1
-        assert service.stats()["hits"] == 1
+        assert service.stats()["requests"]["hits"] == 1
 
     def test_cache_path_builds_disk_service(self, tmp_path):
         compiled = repro.compile(kernels.SQUARES, params={"n": 4},
@@ -247,6 +247,6 @@ class TestMetricsRendering:
     def test_pass_timings_aggregated(self):
         service = CompileService()
         service.compile(kernels.WAVEFRONT, params={"n": 6})
-        passes = service.stats()["passes"]
+        passes = service.stats()["requests"]["passes"]
         assert "dependence" in passes
         assert passes["dependence"]["count"] == 1

@@ -1,0 +1,131 @@
+"""The redesigned submit() API and its deprecated shims."""
+
+import pytest
+
+from repro import CompileRequest, CompileService, kernels
+from repro.service.api import CompileResult
+
+SRC = "array (1,8) [ (i) := i*i | i <- [1..8] ]"
+BAD = "((( this never parses"
+
+
+class TestSubmitSingle:
+    def test_definition(self):
+        result = CompileService().submit(CompileRequest(SRC))
+        assert isinstance(result, CompileResult)
+        assert result.ok and result.kind == "definition"
+        assert result.fingerprint and not result.cached
+        assert result.value() is result.compiled
+        assert result.elapsed_s > 0
+
+    def test_kind_auto_detects_program(self):
+        result = CompileService().submit(CompileRequest(
+            kernels.PROGRAM_PIPELINE, params={"n": 12},
+        ))
+        assert result.ok and result.kind == "program"
+
+    def test_hit_sets_cached_and_tier(self):
+        service = CompileService()
+        service.submit(CompileRequest(SRC))
+        again = service.submit(CompileRequest(SRC))
+        assert again.cached and again.tier == "memory"
+        assert again.compiled is service.submit(CompileRequest(SRC)).compiled
+
+    def test_error_is_captured_not_raised(self):
+        result = CompileService().submit(CompileRequest(BAD))
+        assert not result.ok and result.error is not None
+        with pytest.raises(type(result.error)):
+            result.value()
+
+    def test_bad_kind_is_an_errored_result(self):
+        result = CompileService().submit(CompileRequest(SRC, kind="spell"))
+        assert not result.ok and "unknown request kind" in str(result.error)
+
+    def test_normalizes_tuples_and_dicts(self):
+        service = CompileService()
+        from_tuple = service.submit((SRC, {"n": 8}))
+        from_dict = service.submit({"src": SRC, "params": {"n": 8}})
+        assert from_tuple.ok and from_dict.cached
+        assert from_tuple.fingerprint == from_dict.fingerprint
+
+
+class TestSubmitBatch:
+    def test_list_fans_out_in_order(self):
+        service = CompileService()
+        sources = [
+            f"array (1,{n}) [ (i) := i*{n} | i <- [1..{n}] ]"
+            for n in (4, 5, 6)
+        ]
+        results = service.submit([CompileRequest(s) for s in sources])
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+
+    def test_batch_isolates_errors(self):
+        results = CompileService().submit(
+            [CompileRequest(SRC), CompileRequest(BAD)]
+        )
+        assert results[0].ok and not results[1].ok
+
+    def test_warm_only_still_compiles_and_caches(self):
+        service = CompileService()
+        warm = service.submit(CompileRequest(SRC, warm_only=True))
+        assert warm.ok and warm.warm_only and not warm.cached
+        hot = service.submit(CompileRequest(SRC))
+        assert hot.cached and hot.tier == "memory"
+
+
+class TestDeprecatedShims:
+    """The old four methods: still working, warning, byte-identical."""
+
+    def test_compile_matches_submit(self):
+        with pytest.warns(DeprecationWarning, match="compile"):
+            old = CompileService().compile(SRC, params={"n": 8})
+        new = CompileService().submit(
+            CompileRequest(SRC, params={"n": 8})
+        ).value()
+        assert old.source == new.source
+
+    def test_compile_program_matches_submit(self):
+        with pytest.warns(DeprecationWarning, match="compile_program"):
+            old = CompileService().compile_program(
+                kernels.PROGRAM_PIPELINE, params={"n": 12},
+            )
+        new = CompileService().submit(CompileRequest(
+            kernels.PROGRAM_PIPELINE, params={"n": 12}, kind="program",
+        )).value()
+        assert old.sources() == new.sources()
+
+    def test_compile_batch_matches_submit(self):
+        with pytest.warns(DeprecationWarning, match="compile_batch"):
+            old = CompileService().compile_batch([SRC, BAD])
+        new = CompileService().submit(
+            [CompileRequest(SRC), CompileRequest(BAD)]
+        )
+        assert [r.ok for r in old] == [r.ok for r in new]
+        assert old[0].compiled.source == new[0].compiled.source
+
+    def test_warmup_summary_counts(self):
+        service = CompileService()
+        with pytest.warns(DeprecationWarning, match="warmup"):
+            summary = service.warmup([SRC, SRC, BAD])
+        assert summary["total"] == 3
+        assert summary["compiled"] >= 1 and summary["errors"] == 1
+        # the duplicate either coalesced onto the first compile
+        # (counted compiled) or hit the fresh entry (counted cached)
+        assert summary["compiled"] + summary["cached"] == 2
+
+    def test_warmup_routes_program_sources(self):
+        """Regression: program sources used to fail the definition
+        parser inside warmup; kind auto-detection now routes them."""
+        service = CompileService()
+        with pytest.warns(DeprecationWarning):
+            summary = service.warmup(
+                [CompileRequest(kernels.PROGRAM_PIPELINE,
+                                params={"n": 12})]
+            )
+        assert summary == {"total": 1, "compiled": 1,
+                           "cached": 0, "errors": 0}
+        hot = service.submit(CompileRequest(
+            kernels.PROGRAM_PIPELINE, params={"n": 12},
+        ))
+        assert hot.cached and hot.kind == "program"
