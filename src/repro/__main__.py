@@ -44,9 +44,11 @@ detected automatically and compiled whole (``repro.compile_program``):
 ``analyze``/``compile``/``run`` print the program report — topo order,
 cross-binding reuse edges, convergence-driver decisions.  ``--iterate
 tol=1e-8`` or ``--iterate steps=50`` overrides the program's own
-iteration control::
+iteration control, and ``--dist-workers N`` block-partitions the
+convergence sweeps over a process pool (``repro.dist``)::
 
     python -m repro run jacobi.hs -p m=256 --iterate tol=1e-8
+    python -m repro run jacobi.hs -p m=1024 -p tol=1e-4 --dist-workers 4
 """
 
 from __future__ import annotations
@@ -253,10 +255,14 @@ def _program_command(args, source: str, params) -> int:
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc
+    dist_workers = getattr(args, "dist_workers", 0) or 0
+    if dist_workers < 0:
+        raise SystemExit("--dist-workers needs a non-negative count")
     try:
         program = repro.compile_program(
             source, params=params, options=options,
             cache=_cache_dir(args.cache),
+            dist=bool(dist_workers), workers=dist_workers,
         )
     except CompileError as exc:
         raise SystemExit(f"compile error: {exc}") from exc
@@ -372,6 +378,11 @@ def main(argv=None) -> int:
     parser.add_argument("--iterate", metavar="KEY=VALUE",
                         help="override a program's iteration control: "
                              "tol=FLOAT or steps=INT (programs only)")
+    parser.add_argument("--dist-workers", type=int, default=0,
+                        metavar="N",
+                        help="block-partition a program's iterate/"
+                             "converge sweeps over N worker processes "
+                             "(programs only; 0 disables)")
     parser.add_argument("--json", action="store_true",
                         help="explain only: emit the decision trace "
                              "as JSON")
@@ -467,6 +478,11 @@ def main(argv=None) -> int:
         raise SystemExit(
             "--iterate only applies to multi-binding programs (this "
             "source is a single definition)"
+        )
+    if getattr(args, "dist_workers", 0):
+        raise SystemExit(
+            "--dist-workers only applies to multi-binding programs "
+            "(this source is a single definition)"
         )
 
     if args.command == "analyze":

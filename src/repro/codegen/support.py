@@ -203,6 +203,15 @@ _PAR_POOL = None
 _PAR_POOL_WORKERS = 0
 _PAR_POOL_LOCK = None
 
+#: When set, ``par_chunks`` runs every request serially and never
+#: touches the shared executor.  Distributed sweep workers
+#: (``repro.dist.pool``) set this after forking: the blocks already
+#: occupy the cores, and the forked copy of a thread pool has no live
+#: threads (its inherited locks are in an unknown state), so nested
+#: thread parallelism inside a worker would oversubscribe at best and
+#: deadlock at worst.
+FORCE_SERIAL_CHUNKS = False
+
 
 def _shared_pool(workers: int):
     """The shared executor, sized to the max ``workers`` seen so far."""
@@ -259,6 +268,9 @@ def par_chunks(body, start: int, stop: int, step: int,
     total = (stop - start) // step + 1
     if total <= 0:
         return
+    if FORCE_SERIAL_CHUNKS and workers > 1:
+        count_runtime("par_chunks.forced_serial")
+        workers = 1
     workers = max(1, min(workers, total))
     if workers == 1:
         count_runtime("par_chunks.serial")

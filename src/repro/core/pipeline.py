@@ -646,6 +646,8 @@ def compile(
     force_strategy: Optional[str] = None,
     cache=None,
     explain: bool = False,
+    dist: bool = False,
+    workers: int = 0,
 ) -> CompiledComp:
     """Compile an array definition — the single public entry point.
 
@@ -679,12 +681,18 @@ def compile(
         :class:`~repro.obs.explain.Explanation`) to the result's
         ``explanation`` attribute — *why* each schedule/in-place/
         vectorize/parallel decision was taken or rejected.
+    dist / workers:
+        Program sources only: plan block-partitioned convergence
+        sweeps over ``workers`` processes
+        (see :func:`repro.program.compile.compile_program`).  A
+        single definition has no convergence loop to distribute, so
+        ``dist=True`` on one is a :class:`CompileError`.
     """
     with dependence_memo():
         compiled = _compile_dispatch(
             src, strategy=strategy, params=params, options=options,
             old_array=old_array, force_strategy=force_strategy,
-            cache=cache,
+            cache=cache, dist=dist, workers=workers,
         )
     if explain:
         from repro.obs.explain import explain_report
@@ -702,6 +710,8 @@ def _compile_dispatch(
     old_array: Optional[str],
     force_strategy: Optional[str],
     cache,
+    dist: bool = False,
+    workers: int = 0,
 ) -> CompiledComp:
     if strategy not in STRATEGIES:
         raise CompileError(
@@ -718,7 +728,8 @@ def _compile_dispatch(
                 from repro.program.compile import compile_program
 
                 return compile_program(src, params=params,
-                                       options=options, cache=cache)
+                                       options=options, cache=cache,
+                                       dist=dist, workers=workers)
             raise CompileError(
                 "source is a multi-binding program (bindings "
                 + ", ".join(repr(b.name) for b in program)
@@ -726,6 +737,12 @@ def _compile_dispatch(
                 "single definitions — use repro.compile_program(src, "
                 "params=..., options=...) for whole programs"
             )
+    if dist:
+        raise CompileError(
+            "dist= distributes a program's iterate/converge sweeps; "
+            "a single definition has no convergence loop — use "
+            "repro.compile_program on a multi-binding program"
+        )
     resolved = strategy
     if resolved == "auto":
         resolved = "inplace" if old_array is not None \

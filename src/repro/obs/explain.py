@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 #: Decision areas, in render order.
 AREAS = ("compile", "strategy", "schedule", "checks", "inplace",
          "vectorize", "parallel", "backend", "fuse", "reuse", "iterate",
-         "note")
+         "dist", "note")
 
 ACCEPTED = "accepted"
 REJECTED = "rejected"
@@ -237,6 +237,8 @@ def _fallback_area(text: str) -> str:
         return "fuse"
     if text.startswith("iterate"):
         return "inplace"
+    if text.startswith("dist"):
+        return "dist"
     return "reuse"
 
 
@@ -259,6 +261,8 @@ def explain_program_report(report) -> Explanation:
     for entry in report.iterate:
         verdict = ACCEPTED if "in-place sweeps" in entry else INFO
         out.add("iterate", "driver", verdict, entry)
+    for entry in getattr(report, "dist", ()) or ():
+        out.add("dist", "planner", ACCEPTED, entry)
     for note in report.notes:
         out.add("note", "program", INFO, note)
     for info in report.bindings:

@@ -87,6 +87,8 @@ def compile_program(
     cache=None,
     result: Optional[str] = None,
     fuse: bool = True,
+    dist: bool = False,
+    workers: int = 0,
 ) -> CompiledProgram:
     """Compile a whole program (string or parsed binding list).
 
@@ -110,26 +112,40 @@ def compile_program(
         zero after loop alignment is inlined into its consumer and
         never allocated.  ``False`` compiles every binding separately
         (the pre-fusion behavior; the unfused baseline in benchmarks).
+    dist / workers:
+        Distributed execution (:mod:`repro.dist`): plan every
+        ``iterate``/``converge`` binding for block-partitioned sweeps
+        over ``workers`` processes.  ``workers=0`` with ``dist=True``
+        takes the machine's CPU count.  Bindings the planner rejects
+        run single-process with the reason in
+        ``ProgramReport.fallbacks`` (``dist`` prefix) and the plans in
+        ``ProgramReport.dist``.
     """
+    if dist and workers <= 0:
+        import os
+
+        workers = os.cpu_count() or 1
+    if not dist:
+        workers = 0
     if cache is not None and cache is not False:
         from repro.service.api import CompileRequest
         from repro.service.service import resolve_cache
 
         return resolve_cache(cache).submit(CompileRequest(
             src, params, options, kind="program", result=result,
-            fuse=fuse,
+            fuse=fuse, dist=dist, workers=workers,
         )).value()
 
     with trace_scope("compile-program") as scope, dependence_memo():
         program = _compile_program_traced(src, params, options, result,
-                                          fuse)
+                                          fuse, dist, workers)
     program.report.trace = scope
     program.report.timings = span_timings(scope)
     return program
 
 
-def _compile_program_traced(src, params, options, result, fuse=True
-                            ) -> CompiledProgram:
+def _compile_program_traced(src, params, options, result, fuse=True,
+                            dist=False, workers=0) -> CompiledProgram:
     with span("parse"):
         binds = parse_program(src) if isinstance(src, str) else list(src)
     if not binds:
@@ -211,7 +227,7 @@ def _compile_program_traced(src, params, options, result, fuse=True
     state = _CompileState(
         by_name=by_name, kinds=kinds, extras=extras, graph=graph,
         last=last, protected=protected, params=params, options=options,
-        report=report,
+        report=report, dist=dist, workers=workers,
     )
     steps = []
     for name in schedule:
@@ -463,7 +479,8 @@ class _CompileState:
     """Mutable walk state: what has been produced/consumed so far."""
 
     def __init__(self, *, by_name, kinds, extras, graph, last, protected,
-                 params, options, report: ProgramReport):
+                 params, options, report: ProgramReport, dist=False,
+                 workers=0):
         self.by_name = by_name
         self.kinds = kinds
         self.extras = extras
@@ -473,6 +490,8 @@ class _CompileState:
         self.params = params
         self.options = options
         self.report = report
+        self.dist = dist
+        self.workers = workers
         #: Program-allocated arrays eligible as storage donors, with
         #: their static bounds (``None`` bounds disqualifies matching).
         self.produced: Dict[str, object] = {}
@@ -511,6 +530,15 @@ class _CompileState:
     def compile_binding(self, name: str) -> ProgramStep:
         kind = self.kinds[name]
         bind = self.by_name[name]
+        if self.dist and kind != "iterate":
+            if kind in ("scalar", "function", "alias"):
+                why = (f"{kind} binding evaluates once in the parent "
+                       "— nothing to block-partition")
+            else:
+                why = ("one-shot binding executes once in the parent; "
+                       "only iterate/converge sweeps repeat enough to "
+                       "amortize block dispatch")
+            self.report.fallbacks.append(f"dist {name!r}: {why}")
         if kind == "scalar":
             self._info(name=name, kind="scalar",
                        detail="evaluated by the reference interpreter")
@@ -725,7 +753,41 @@ class _CompileState:
             control=spec.control, mode=mode, step=compiled,
             seed_dead=seed_dead, reuse_buffers=reuse_buffers,
         )
+        if self.dist:
+            self._plan_dist(name, plan, compiled, mode, param)
         return ProgramStep(name=name, kind="iterate", iterate=plan)
+
+    def _plan_dist(self, name, plan: IteratePlan, compiled, mode,
+                   param) -> None:
+        """Attach a block-partition plan, or record why not.
+
+        Structural rejection is *compile-time* information: the reason
+        lands in ``report.fallbacks`` (``dist`` prefix, surfacing in
+        the ``dist`` explain area) and the binding runs the ordinary
+        single-process sweeps.
+        """
+        from repro.codegen.emit import CodegenError
+        from repro.core.distplan import DistReject, plan_distribution
+
+        try:
+            dist_plan = plan_distribution(
+                name, compiled.report, mode, param,
+                params=self.params, workers=self.workers,
+            )
+            for env_name in dist_plan.kernel.env_names:
+                if env_name != param and (
+                    self.kinds.get(env_name) == "function"
+                ):
+                    raise DistReject(
+                        f"step calls program function {env_name!r} — "
+                        "interpreter closures cannot ship to workers"
+                    )
+        except (DistReject, CodegenError) as exc:
+            self.report.fallbacks.append(f"dist {name!r}: {exc}")
+            return
+        plan.dist = dist_plan
+        self.report.dist.extend(dist_plan.notes)
+        count("program.dist.bindings")
 
     def _pick_iterate_mode(self, body, param):
         """In-place sweeps when §9 proves them free; else double-buffer.

@@ -104,6 +104,11 @@ class ProgramReport:
     fallbacks: List[str] = field(default_factory=list)
     #: Convergence-driver decisions (mode chosen per iterate binding).
     iterate: List[str] = field(default_factory=list)
+    #: Distribution-planner decisions (block counts, halo widths,
+    #: wavefront stages) for bindings that distribute; the reasons
+    #: bindings *don't* distribute live in :attr:`fallbacks` with a
+    #: ``dist`` prefix.
+    dist: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per program pass (consumed by the service
     #: metrics like the single-definition Report.timings).  Derived
@@ -139,6 +144,8 @@ class ProgramReport:
             lines.append(f"elided: {entry}")
         for entry in self.iterate:
             lines.append(f"iterate: {entry}")
+        for entry in self.dist:
+            lines.append(f"dist: {entry}")
         for entry in self.fallbacks:
             lines.append(f"fallback: {entry}")
         for note in self.notes:

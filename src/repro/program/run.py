@@ -73,6 +73,10 @@ class IteratePlan:
     #: Double-buffer only: the step provably defines every cell, so
     #: stale buffers can be handed back through '.reuse'.
     reuse_buffers: bool = False
+    #: Block-partition plan (:class:`~repro.core.distplan
+    #: .DistBindingPlan`) when the binding compiled with ``dist=``;
+    #: ``None`` runs the single-process sweep paths below.
+    dist: Optional[object] = None
 
 
 @dataclass
@@ -258,6 +262,17 @@ def _run_iterate(plan: IteratePlan, env: Dict, interp, genv,
     # buffer is ours regardless of liveness.
     owned = plan.seed_dead or not isinstance(seed_value, FlatArray)
     current = FlatArray(bounds, cells)
+
+    if plan.dist is not None:
+        from repro.dist.run import run_dist_iterate
+
+        distributed = run_dist_iterate(plan, plan.dist, env, kind,
+                                       control, current, owned)
+        if distributed is not None:
+            return distributed
+        # Runtime precondition failed (counted as
+        # dist.fallback.runtime): run the single-process sweeps below
+        # — the seed was never mutated.
 
     if plan.mode == "inplace":
         return _sweep_inplace(plan, env, kind, control, current, owned)

@@ -42,6 +42,7 @@ WIRE_SCHEMA = "repro-serve/1"
 _REQUEST_FIELDS = (
     "src", "params", "options", "force_strategy", "strategy",
     "old_array", "kind", "result", "fuse", "warm_only",
+    "dist", "workers",
 )
 
 _KINDS = ("auto", "definition", "program")
@@ -79,6 +80,11 @@ class CompileRequest:
     fuse: bool = True
     #: Warm the cache; the wire response omits generated source.
     warm_only: bool = False
+    #: Program requests only: plan block-partitioned convergence
+    #: sweeps (:mod:`repro.core.distplan`) over ``workers`` processes.
+    dist: bool = False
+    #: Block count for ``dist`` (0 = caller resolves to cpu count).
+    workers: int = 0
 
     def to_wire(self) -> Dict:
         """The JSON-able wire form (requires string source/options)."""
@@ -104,6 +110,10 @@ class CompileRequest:
             out["fuse"] = False
         if self.warm_only:
             out["warm_only"] = True
+        if self.dist:
+            out["dist"] = True
+        if self.workers:
+            out["workers"] = self.workers
         return out
 
     @classmethod
@@ -129,6 +139,10 @@ class CompileRequest:
         params = payload.get("params")
         if params is not None and not isinstance(params, dict):
             raise WireError("params must be an object of name -> number")
+        workers = payload.get("workers", 0)
+        if not isinstance(workers, int) or isinstance(workers, bool) \
+                or workers < 0:
+            raise WireError("workers must be a non-negative integer")
         options = payload.get("options")
         return cls(
             src=payload["src"],
@@ -141,6 +155,8 @@ class CompileRequest:
             result=payload.get("result"),
             fuse=bool(payload.get("fuse", True)),
             warm_only=bool(payload.get("warm_only", False)),
+            dist=bool(payload.get("dist", False)),
+            workers=workers,
         )
 
 

@@ -49,7 +49,10 @@ from repro.lang.parser import parse_expr
 #: /5: backend registry + native C tier (CodegenOptions grew a
 #:     ``backend`` field, reports grew backend entries, and the salt
 #:     also keys the native ``.so`` cache — one bump retires both).
-PIPELINE_SALT = "repro-pipeline/5"
+#: /6: distribution planning (IteratePlan grew a ``dist`` plan,
+#:     ProgramReport a ``dist`` area; cached program artifacts
+#:     predating the planner cannot carry either).
+PIPELINE_SALT = "repro-pipeline/6"
 
 
 # ----------------------------------------------------------------------
@@ -331,6 +334,8 @@ def fingerprint_program(
     result: Optional[str] = None,
     fuse: bool = True,
     salt: str = PIPELINE_SALT,
+    dist: bool = False,
+    workers: int = 0,
 ) -> str:
     """SHA-256 cache key for one whole-program compilation request.
 
@@ -340,7 +345,9 @@ def fingerprint_program(
     the bindings — including the result binding — does not change the
     key, while renaming free names (parameters, input arrays) does.
     The requested ``result`` is resolved to its positional id for the
-    same reason.
+    same reason.  ``dist``/``workers`` key the distribution plan: the
+    block windows (and therefore IteratePlan.dist) depend on the
+    worker count.
     """
     from repro.lang.parser import parse_program
 
@@ -360,6 +367,7 @@ def fingerprint_program(
         f"salt={salt}",
         "mode=program",
         f"fuse={bool(fuse)}",
+        f"dist={bool(dist)}:{int(workers) if dist else 0}",
         f"result={env.get(result, result)}",
         f"options={_options_key(options)}",
         f"params={sorted((params or {}).items())!r}",

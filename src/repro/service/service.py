@@ -161,7 +161,8 @@ class CompileService:
         return key
 
     def fingerprint_program(self, src, params=None, options=None,
-                            result=None, fuse=True) -> str:
+                            result=None, fuse=True, dist=False,
+                            workers=0) -> str:
         """The cache key this service would use for a whole program."""
         from repro.service.fingerprint import fingerprint_program
 
@@ -171,13 +172,14 @@ class CompileService:
                 "program", src,
                 repr(sorted((params or {}).items())),
                 _options_key(options), result, bool(fuse),
+                bool(dist), int(workers),
             )
             cached = self._fp_memo.get(memo_key)
             if cached is not None:
                 return cached
         key = fingerprint_program(
             src, params=params, options=options, result=result,
-            fuse=fuse, salt=self.salt,
+            fuse=fuse, salt=self.salt, dist=dist, workers=workers,
         )
         self._memoize_fp(memo_key, key)
         return key
@@ -195,7 +197,8 @@ class CompileService:
         if self._request_kind(request) == "program":
             return self.fingerprint_program(
                 request.src, request.params, request.options,
-                request.result, request.fuse,
+                request.result, request.fuse, request.dist,
+                request.workers,
             )
         return self.fingerprint(
             request.src, request.params, request.options,
@@ -278,7 +281,8 @@ class CompileService:
                 return compile_program(
                     request.src, params=request.params,
                     options=request.options, result=request.result,
-                    fuse=request.fuse,
+                    fuse=request.fuse, dist=request.dist,
+                    workers=request.workers,
                 )
         else:
             def build():

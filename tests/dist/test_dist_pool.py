@@ -1,0 +1,178 @@
+"""The distributed pool's failure containment and runtime support.
+
+Worker crashes must break the barrier (not hang peers), mark the pool
+broken, and leave the next call a fresh pool; ``par_chunks`` must run
+serial inside workers; the shared segments and tree reduction must
+behave standalone.
+"""
+
+import threading
+
+import pytest
+
+from repro.codegen import support
+from repro.dist import exchange
+from repro.dist.pool import (
+    DistPool,
+    DistPoolError,
+    fork_available,
+    get_pool,
+    shutdown_pools,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="distribution needs fork"
+)
+
+needs_shm = pytest.mark.skipif(
+    not exchange.available(), reason="needs shared memory + numpy"
+)
+
+
+class TestSharedDoubles:
+    @needs_shm
+    def test_create_attach_roundtrip(self):
+        owner = exchange.SharedDoubles.create(4)
+        try:
+            owner.array[:] = [1.0, 2.0, 3.0, 4.0]
+            view = exchange.SharedDoubles.attach(owner.name, 4)
+            assert list(view.array) == [1.0, 2.0, 3.0, 4.0]
+            view.array[0] = 9.0
+            assert owner.array[0] == 9.0
+            view.destroy()  # non-owner: close only
+            assert owner.array[1] == 2.0
+        finally:
+            owner.destroy()
+
+    @needs_shm
+    def test_destroy_is_idempotent_for_owner(self):
+        owner = exchange.SharedDoubles.create(2)
+        owner.destroy()
+        owner.destroy()  # second unlink is a tolerated no-op
+
+
+class TestTreeReduceMax:
+    @needs_shm
+    @pytest.mark.parametrize("parties", [1, 2, 3, 4, 5, 8])
+    def test_all_threads_agree_on_the_max(self, parties):
+        shared = exchange.SharedDoubles.create(parties)
+        try:
+            barrier = threading.Barrier(parties)
+            values = [float(i * 37 % 11) for i in range(parties)]
+            results = [None] * parties
+
+            def work(index):
+                shared.array[index] = values[index]
+                results[index] = exchange.tree_reduce_max(
+                    shared.array, index, parties,
+                    lambda: barrier.wait(30),
+                )
+
+            threads = [
+                threading.Thread(target=work, args=(i,))
+                for i in range(parties)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            assert results == [max(values)] * parties
+        finally:
+            shared.destroy()
+
+
+class TestForcedSerialChunks:
+    def test_force_serial_never_touches_the_pool(self, monkeypatch):
+        monkeypatch.setattr(support, "FORCE_SERIAL_CHUNKS", True)
+        monkeypatch.setattr(support, "_PAR_POOL", None)
+        seen = []
+        support.par_chunks(lambda lo, hi: seen.append((lo, hi)),
+                           1, 10, 1, workers=4)
+        # One serial chunk covering the whole range; no executor built.
+        assert seen == [(1, 10)]
+        assert support._PAR_POOL is None
+
+    def test_flag_off_still_parallelizes(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                seen.append((lo, hi))
+
+        support.par_chunks(body, 1, 8, 1, workers=2)
+        assert sorted(seen) == [(1, 4), (5, 8)]
+
+    def test_workers_set_the_flag_after_fork(self):
+        # Forked workers run with par_chunks forced serial — probe the
+        # worker-side state through a real pool.
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        parent, child = ctx.Pipe()
+
+        def probe(conn):
+            from repro.codegen import support as worker_support
+            from repro.dist.pool import _worker_main  # noqa: F401
+
+            # _worker_main sets the flag on entry; emulate its prologue
+            # exactly the way the pool target does.
+            worker_support.FORCE_SERIAL_CHUNKS = True
+            conn.send(worker_support.FORCE_SERIAL_CHUNKS)
+            conn.close()
+
+        proc = ctx.Process(target=probe, args=(child,))
+        proc.start()
+        child.close()
+        assert parent.recv() is True
+        proc.join(10)
+
+
+class TestPoolFailureContainment:
+    def test_bad_job_breaks_and_rebuilds(self):
+        pool = get_pool(2)
+        with pytest.raises(DistPoolError):
+            # A job no worker understands: raises inside the worker,
+            # which aborts the barrier and reports the traceback.
+            pool.run({"mode": "double", "kind": "steps", "control": 1,
+                      "kernel": "this is not python",
+                      "entry": "_build", "clamps": [],
+                      "guard_axes": (), "param": "u",
+                      "low": (1,), "high": (2,), "size": 2,
+                      "env": {}, "trace": False,
+                      "row_blocks": ((1, 1), (2, 2)),
+                      "col_blocks": (), "chunks": (),
+                      "shm": {"a": "missing", "b": "missing",
+                              "r": "missing"}})
+        assert pool.broken
+        fresh = get_pool(2)
+        assert fresh is not pool
+        assert fresh.alive()
+        fresh.shutdown()
+
+    def test_run_after_shutdown_raises(self):
+        pool = DistPool(2)
+        pool.shutdown()
+        with pytest.raises(DistPoolError):
+            pool.run({"mode": "double"})
+
+    def test_shutdown_pools_is_idempotent(self):
+        get_pool(2)
+        shutdown_pools()
+        shutdown_pools()  # second call: nothing left, no error
+
+    def test_atexit_hooks_coexist(self):
+        # Satellite: draining the dist pool and the par_chunks thread
+        # pool must not deadlock, in either order.
+        support.par_chunks(lambda lo, hi: None, 1, 4, 1, workers=2)
+        get_pool(2)
+        shutdown_pools()
+        support._shutdown_pool()
+        # Both rebuild lazily afterwards.
+        seen = []
+        support.par_chunks(lambda lo, hi: seen.append((lo, hi)),
+                           1, 4, 1, workers=2)
+        assert len(seen) == 2
+        pool = get_pool(2)
+        assert pool.alive()
+        shutdown_pools()
