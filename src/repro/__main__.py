@@ -58,6 +58,7 @@ import sys
 
 import repro
 from repro import CodegenOptions, CompileError, analyze, evaluate
+from repro.comprehension.build import BuildError
 from repro.codegen.exprs import CodegenError
 from repro.report import render_edges, render_schedule
 
@@ -486,7 +487,10 @@ def main(argv=None) -> int:
         )
 
     if args.command == "analyze":
-        report = analyze(source, params)
+        try:
+            report = analyze(source, params)
+        except (BuildError, CompileError) as exc:
+            raise SystemExit(f"compile error: {exc}") from exc
         print("dependence edges:")
         print(render_edges(report.edges) or "  (none)")
         print("\nschedule:")

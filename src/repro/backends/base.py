@@ -47,6 +47,11 @@ class LoweringJob:
     ``"accum"``
         Accumulation-array emission; ``combine`` / ``init_ast`` as for
         :func:`repro.codegen.emit.emit_accum`.
+    ``"guarded"``
+        Dual-schedule indirect-write kernel; ``subscripts`` is the
+        :class:`~repro.core.subscripts_indirect.GuardPlan` driving the
+        runtime verifier, and ``combine`` / ``init_ast`` ride along
+        when the guarded store accumulates.
     """
 
     mode: str
@@ -61,10 +66,26 @@ class LoweringJob:
     old_array: Optional[str] = None
     combine: object = None
     init_ast: object = None
+    #: ``"guarded"`` mode: the :class:`~repro.core.subscripts_indirect.
+    #: GuardPlan` (verify specs + indirect dimension map).  Other
+    #: backends refuse the mode and fall back to python.
+    subscripts: object = None
     #: Set by the pipeline from ``report.empties.checks_needed`` — a
     #: backend whose result buffers cannot represent *undefined* cells
     #: (the C tier zero-fills) must refuse partial comprehensions.
     empties_needed: bool = False
+
+    def indirect_guard_dims(self) -> Optional[Dict]:
+        """The indirect-dimension map for checked emission, if any.
+
+        ``thunkless``/``accum`` jobs over comprehensions with indirect
+        writes carry a :class:`~repro.core.subscripts_indirect.
+        GuardPlan` too (no dual schedule, just the exact-int guards on
+        every ``idx!inner`` store dimension).
+        """
+        if self.subscripts is None:
+            return None
+        return getattr(self.subscripts, "indirect_dims", None)
 
 
 class Backend:

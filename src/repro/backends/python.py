@@ -30,6 +30,7 @@ class PythonBackend(Backend):
                 job.comp, job.schedule, job.options, job.params,
                 edges=job.edges, parallel_plan=job.parallel_plan,
                 parallel_log=job.parallel_log,
+                indirect_guard_dims=job.indirect_guard_dims(),
             )
         if job.mode == "thunked":
             return emit_thunked(job.comp, job.options, job.params)
@@ -41,5 +42,16 @@ class PythonBackend(Backend):
             return emit_accum(
                 job.comp, job.schedule, job.combine, job.init_ast,
                 job.options, job.params,
+                indirect_guard_dims=job.indirect_guard_dims(),
+            )
+        if job.mode == "guarded":
+            from repro.codegen.indirect import emit_guarded
+
+            return emit_guarded(
+                job.comp, job.schedule, job.subscripts, job.options,
+                job.params, edges=job.edges,
+                parallel_plan=job.parallel_plan,
+                parallel_log=job.parallel_log,
+                combine=job.combine, init_ast=job.init_ast,
             )
         raise BackendUnsupported(f"unknown lowering mode {job.mode!r}")

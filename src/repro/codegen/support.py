@@ -16,6 +16,7 @@ from repro.obs.trace import count_runtime
 from repro.runtime.bounds import Bounds
 from repro.runtime.errors import (
     BoundsError,
+    IndexTypeError,
     UndefinedElementError,
     WriteCollisionError,
 )
@@ -293,6 +294,102 @@ def par_chunks(body, start: int, stop: int, step: int,
     futures = [pool.submit(body, lo, hi) for lo, hi in chunks]
     for future in futures:
         future.result()
+
+
+class VerifyStats:
+    """Counters for the subscript-property runtime verifier.
+
+    Separate from :data:`CHECK_STATS`: a verification is one O(n) scan
+    replacing O(n) per-write checks, and benchmarks (E25) price the
+    trade by comparing the two counters.
+    """
+
+    __slots__ = ("verifications", "cells_scanned", "fast_path",
+                 "fallbacks")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        """Zero all counters."""
+        self.verifications = 0
+        self.cells_scanned = 0
+        self.fast_path = 0
+        self.fallbacks = 0
+
+    def snapshot(self):
+        """The counters as a dict."""
+        return {
+            "verifications": self.verifications,
+            "cells_scanned": self.cells_scanned,
+            "fast_path": self.fast_path,
+            "fallbacks": self.fallbacks,
+        }
+
+    def __repr__(self):
+        return (
+            f"VerifyStats(verifications={self.verifications}, "
+            f"cells={self.cells_scanned}, fast={self.fast_path}, "
+            f"fallbacks={self.fallbacks})"
+        )
+
+
+#: Global verifier statistics; benchmarks reset before a run.
+VERIFY_STATS = VerifyStats()
+
+
+def verify_subscripts(cells, low: int, high: int,
+                      need_injective: bool = True) -> tuple:
+    """O(n) subscript-property verifier for one index array.
+
+    Establishes, over the *whole* cell list, that every value is a
+    machine integer inside ``[low, high]`` and — when
+    ``need_injective`` — that no value repeats.  Returns
+    ``(ok, reason)``; generated guarded kernels take the unchecked
+    fast schedule on ``ok`` and replay the loops with full per-write
+    checks otherwise (the fallback, not this function, raises the
+    precise error).  Scanning the whole array rather than just the
+    cells a comprehension reads is deliberately conservative: it can
+    only route valid-but-exotic inputs to the slower checked path,
+    never change a result.
+    """
+    VERIFY_STATS.verifications += 1
+    VERIFY_STATS.cells_scanned += len(cells)
+    count_runtime("verify.scans")
+    count_runtime("verify.cells", len(cells))
+    extent = high - low + 1
+    if extent < 0:
+        extent = 0
+    if need_injective:
+        seen = bytearray(extent)
+        for value in cells:
+            if type(value) is not int:
+                return False, f"non-int value {value!r}"
+            offset = value - low
+            if not 0 <= offset < extent:
+                return False, f"value {value} outside [{low}, {high}]"
+            if seen[offset]:
+                return False, f"duplicate value {value}"
+            seen[offset] = 1
+    else:
+        for value in cells:
+            if type(value) is not int:
+                return False, f"non-int value {value!r}"
+            if not low <= value <= high:
+                return False, f"value {value} outside [{low}, {high}]"
+    return True, ""
+
+
+def as_index(value, array: str = "") -> int:
+    """Reject a non-int subscript value loudly (guarded fallback path).
+
+    ``bool`` is an ``int`` subclass and floats index nothing; the
+    exact-type test rejects both before Python's list indexing can
+    truncate or wrap silently.
+    """
+    if type(value) is not int:
+        raise IndexTypeError(value, array)
+    return value
 
 
 def check_bounds(linear: int, size: int, subscript) -> None:

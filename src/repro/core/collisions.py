@@ -89,11 +89,71 @@ class EmptiesReport:
         return self.status != NONE
 
 
-def _pair_status(first: SVClause, second: SVClause, array: str) -> CollisionFinding:
+def _reduced_pair(first, second, array, comp, injective, params):
+    """References for an indirect pair with injective dims reduced.
+
+    Sound only when the two clauses are dimension-compatible: each
+    position is either affine in both, or reads the *same* injective
+    index array in both (``p!f == p!g  <=>  f == g``).  Returns
+    ``(first_ref, second_ref)`` or ``None`` when no reduction applies.
+    """
+    from repro.core.subscripts_indirect import (
+        IndirectWrite,
+        decompose_write,
+    )
+    from repro.core.subscripts import Reference
+
+    first_dims = decompose_write(first, comp, params)
+    second_dims = decompose_write(second, comp, params)
+    if first_dims is None or second_dims is None:
+        return None
+    if len(first_dims) != len(second_dims):
+        return None
+    first_sub, second_sub = [], []
+    for a, b in zip(first_dims, second_dims):
+        a_ind = isinstance(a, IndirectWrite)
+        b_ind = isinstance(b, IndirectWrite)
+        if a_ind != b_ind:
+            return None
+        if a_ind:
+            if (a.index_array != b.index_array
+                    or a.index_array not in injective):
+                return None
+            if a.inner is None or b.inner is None:
+                return None
+            first_sub.append(a.inner)
+            second_sub.append(b.inner)
+        else:
+            first_sub.append(a)
+            second_sub.append(b)
+    return (
+        Reference(array, tuple(first_sub), first.loop_infos,
+                  is_write=True, clause=first),
+        Reference(array, tuple(second_sub), second.loop_infos,
+                  is_write=True, clause=second),
+    )
+
+
+def _pair_status(
+    first: SVClause, second: SVClause, array: str,
+    comp: Optional[ArrayComp] = None,
+    injective: frozenset = frozenset(),
+    params=None,
+) -> CollisionFinding:
     first_ref = first.write_reference(array)
     second_ref = second.write_reference(array)
     if first_ref is None or second_ref is None:
-        return CollisionFinding(first, second, POSSIBLE)
+        # Opaque subscripts: an injective index array lets the pair be
+        # *reduced* — two writes through ``p`` collide only if their
+        # inner subscripts coincide, so the affine battery runs over
+        # the inners instead.
+        reduced = None
+        if injective and comp is not None:
+            reduced = _reduced_pair(first, second, array, comp,
+                                    injective, params)
+        if reduced is None:
+            return CollisionFinding(first, second, POSSIBLE)
+        first_ref, second_ref = reduced
     equations = build_equations(first_ref, second_ref)
     depth = equations[0].depth if equations else 0
     unconstrained = ("*",) * depth
@@ -133,18 +193,27 @@ def _pair_status(first: SVClause, second: SVClause, array: str) -> CollisionFind
     return CollisionFinding(first, second, POSSIBLE)
 
 
-def analyze_collisions(comp: ArrayComp) -> CollisionReport:
+def analyze_collisions(
+    comp: ArrayComp,
+    injective: frozenset = frozenset(),
+    params=None,
+) -> CollisionReport:
     """Classify the comprehension's write-collision behavior (§7).
 
     Clauses with guards are treated conservatively: a CERTAIN witness
     degrades to POSSIBLE, since the guard may exclude it at runtime.
+
+    ``injective`` names index arrays proven (or assumed, for a guarded
+    kernel's fast path) injective: writes through them reduce to the
+    affine tests over their inner subscripts.
     """
     findings: List[CollisionFinding] = []
     clauses = comp.clauses
     array = comp.name or ""
     for position, first in enumerate(clauses):
         for second in clauses[position:]:
-            finding = _pair_status(first, second, array)
+            finding = _pair_status(first, second, array, comp,
+                                   injective, params)
             if finding.status == CERTAIN and (first.guards or second.guards):
                 finding.status = POSSIBLE
                 finding.witness = None
@@ -171,33 +240,85 @@ def _clause_pair_count(clause: SVClause) -> Optional[int]:
     return total
 
 
-def _in_bounds(clause: SVClause, comp: ArrayComp) -> Optional[bool]:
-    """Whether every instance writes in bounds (None = unknown)."""
-    if clause.subscripts is None or comp.bounds is None:
-        return None
-    dims = comp.bounds.dims
-    if len(dims) != len(clause.subscripts):
+def _affine_in_bounds(affine, clause, low, high) -> Optional[bool]:
+    lo = hi = affine.const
+    for var, coeff in affine.coeffs.items():
+        loop = next(
+            (l for l in clause.loops if l.info.var == var), None
+        )
+        if loop is None or loop.info.count is None:
+            return None
+        # Normalized index ranges over 1..M.
+        lo += min(coeff * 1, coeff * loop.info.count)
+        hi += max(coeff * 1, coeff * loop.info.count)
+    if lo < low or hi > high:
         return False
-    for (low, high), affine in zip(dims, clause.subscripts):
-        lo = hi = affine.const
-        for var, coeff in affine.coeffs.items():
-            loop = next(
-                (l for l in clause.loops if l.info.var == var), None
-            )
-            if loop is None or loop.info.count is None:
-                return None
-            # Normalized index ranges over 1..M.
-            lo += min(coeff * 1, coeff * loop.info.count)
-            hi += max(coeff * 1, coeff * loop.info.count)
-        if lo < low or hi > high:
-            return False
     return True
 
 
+def clause_in_bounds(
+    clause: SVClause, comp: ArrayComp,
+    bounded: frozenset = frozenset(),
+    params=None,
+) -> Optional[bool]:
+    """Whether every instance writes in bounds (None = unknown).
+
+    ``bounded`` names index arrays whose values are known (or runtime
+    verified) to fall inside the written dimension: an indirect
+    dimension through one of them satisfies its bounds obligation.
+    """
+    if comp.bounds is None:
+        return None
+    dims = comp.bounds.dims
+    if clause.subscripts is None:
+        if not bounded:
+            return None
+        from repro.core.subscripts_indirect import (
+            IndirectWrite,
+            decompose_write,
+        )
+
+        decomposed = decompose_write(clause, comp, params)
+        if decomposed is None or len(dims) != len(decomposed):
+            return None
+        verdict = True
+        for (low, high), entry in zip(dims, decomposed):
+            if isinstance(entry, IndirectWrite):
+                if entry.index_array not in bounded:
+                    return None
+                continue
+            sub = _affine_in_bounds(entry, clause, low, high)
+            if sub is False:
+                return False
+            if sub is None:
+                verdict = None
+        return verdict
+    if len(dims) != len(clause.subscripts):
+        return False
+    verdict = True
+    for (low, high), affine in zip(dims, clause.subscripts):
+        sub = _affine_in_bounds(affine, clause, low, high)
+        if sub is False:
+            return False
+        if sub is None:
+            verdict = None
+    return verdict
+
+
 def analyze_empties(
-    comp: ArrayComp, collision_report: Optional[CollisionReport] = None
+    comp: ArrayComp,
+    collision_report: Optional[CollisionReport] = None,
+    bounded: frozenset = frozenset(),
+    params=None,
 ) -> EmptiesReport:
-    """Prove (or fail to prove) that no element is an empty (§4)."""
+    """Prove (or fail to prove) that no element is an empty (§4).
+
+    ``bounded`` extends the in-bounds obligation to indirect writes
+    through index arrays whose values are proven (or runtime verified)
+    to fall inside the written dimension; with a collision-free report
+    built under the matching injectivity assumption, the pigeonhole
+    argument then covers permutation scatters too.
+    """
     report = collision_report or analyze_collisions(comp)
     reasons: List[str] = []
     if report.status == CERTAIN:
@@ -222,7 +343,7 @@ def analyze_empties(
 
     bounds_ok = True
     for clause in comp.clauses:
-        verdict = _in_bounds(clause, comp)
+        verdict = clause_in_bounds(clause, comp, bounded, params)
         if verdict is False:
             return EmptiesReport(
                 CERTAIN if total is not None and size is not None

@@ -238,6 +238,7 @@ def plan_parallelism(
     comp: ArrayComp,
     edges: Sequence[DepEdge],
     profiles: Optional[Sequence[NestParallelism]] = None,
+    subscripts=None,
 ) -> ParallelPlan:
     """Turn analytic profiles into an executable plan.
 
@@ -247,7 +248,18 @@ def plan_parallelism(
     and the critical path is genuinely shorter than the work; dep-free
     nests go to the slice/chunk backend; everything else stays on the
     sequential schedule with the reason recorded.
+
+    ``subscripts`` (a :class:`~repro.core.subscripts_indirect.
+    SubscriptReport`, optional) enriches the recorded reason for
+    dep-free clauses that write through an index array: injectivity —
+    proven statically or established by the guarded kernel's runtime
+    verifier — is exactly what makes the indirect scatter dep-free.
     """
+    indirect_clauses = set()
+    if subscripts is not None:
+        indirect_clauses = {
+            id(w.clause) for w in getattr(subscripts, "writes", ())
+        }
     if profiles is None:
         profiles = analyze_parallelism(comp, edges)
     plan = ParallelPlan()
@@ -260,9 +272,14 @@ def plan_parallelism(
             ))
             continue
         if profile.fully_parallel:
+            reason = "no loop-carried dependence"
+            if id(clause) in indirect_clauses:
+                reason = (
+                    "no loop-carried dependence (indirect scatter: "
+                    "injective index array makes writes disjoint)"
+                )
             plan.clauses.append(ClausePlan(
-                clause, DEP_FREE, profile,
-                "no loop-carried dependence",
+                clause, DEP_FREE, profile, reason,
             ))
             continue
         hyperplane = profile.hyperplane

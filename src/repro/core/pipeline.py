@@ -37,6 +37,7 @@ from repro.backends import LoweringJob, lower
 from repro.codegen.compile import CompiledComp
 from repro.codegen.emit import CodegenOptions
 from repro.comprehension.build import (
+    BuildError,
     build_array_comp,
     find_array_comp,
 )
@@ -89,6 +90,10 @@ class Report:
     #: The registered backend whose emitter produced the source
     #: (``"python"`` unless a non-default backend lowered the job).
     backend_used: str = ""
+    #: Subscript-property analysis over indirect writes
+    #: (:class:`~repro.core.subscripts_indirect.SubscriptReport`);
+    #: ``None`` until :func:`analyze` runs.
+    subscripts: Optional[object] = None
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per pipeline pass (parse, build, dependence,
     #: schedule, codegen, ...) — consumed by the compile service's
@@ -135,6 +140,8 @@ class Report:
             lines.append(f"backend: lowered by {self.backend_used}")
         for decision in self.backend:
             lines.append(f"backend: {decision}")
+        if self.subscripts is not None and self.subscripts.has_indirect:
+            lines.extend(self.subscripts.summary_lines())
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
@@ -201,17 +208,46 @@ def analyze(
     src,
     params: Optional[Dict[str, int]] = None,
     verify_exact: bool = True,
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> Report:
-    """Run analysis and scheduling without generating code."""
+    """Run analysis and scheduling without generating code.
+
+    ``index_comps`` maps sibling binding names to their built
+    comprehensions; the subscript-property pass uses them to prove
+    injectivity/boundedness of index arrays statically, which feeds
+    the collision and empties analyses for indirect writes.
+    """
+    from repro.core.subscripts_indirect import analyze_subscripts
+
+    from repro.core.accum import find_accum_array
+
     with ensure_trace("analyze") as trace, dependence_memo():
         with span("parse"):
             expr = _parse(src)
         with span("build"):
-            name, bounds_ast, pairs_ast = find_array_comp(expr)
+            try:
+                name, bounds_ast, pairs_ast = find_array_comp(expr)
+            except BuildError as build_exc:
+                # accumArray definitions analyze through the same
+                # bounds/pairs comprehension; the combiner only
+                # matters for codegen.
+                try:
+                    name, _f, _init, bounds_ast, pairs_ast = \
+                        find_accum_array(expr)
+                except ValueError:
+                    raise build_exc from None
             comp = build_array_comp(name, bounds_ast, pairs_ast, params)
+        with span("subscripts"):
+            sub_report = analyze_subscripts(comp, params, index_comps)
         with span("collisions"):
-            collision = analyze_collisions(comp)
-            empties = analyze_empties(comp, collision)
+            collision = analyze_collisions(
+                comp, injective=sub_report.static_injective,
+                params=params,
+            )
+            empties = analyze_empties(
+                comp, collision, bounded=sub_report.static_bounded,
+                params=params,
+            )
         with span("dependence"):
             edges = flow_edges(comp, verify_exact=verify_exact)
         with span("schedule"):
@@ -219,6 +255,7 @@ def analyze(
         with span("parallelism"):
             report = _base_report(comp, collision, empties, edges,
                                   schedule)
+    report.subscripts = sub_report
     report.trace = trace.root
     report.timings = trace.timings()
     return report
@@ -229,6 +266,7 @@ def _compile_array(
     params: Optional[Dict[str, int]] = None,
     options: Optional[CodegenOptions] = None,
     force_strategy: Optional[str] = None,
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     """Monolithic compilation (the ``"array"`` strategy of the facade).
 
@@ -238,10 +276,50 @@ def _compile_array(
     """
     with trace_scope("compile") as scope:
         compiled = _compile_array_traced(src, params, options,
-                                         force_strategy)
+                                         force_strategy, index_comps)
     compiled.report.trace = scope
     compiled.report.timings = span_timings(scope)
     return compiled
+
+
+def _guard_compatible(options: Optional[CodegenOptions]) -> bool:
+    """Whether user options leave room for a guarded dual schedule.
+
+    Explicitly requested runtime checks, vectorization, or a
+    non-python backend all pin the emission shape; the guarded kernel
+    only replaces the *auto-chosen* checked path (``parallel`` rides
+    along — the fast path is where it can actually engage).
+    """
+    if options is None:
+        return True
+    return not (options.bounds_checks or options.collision_checks
+                or options.empties_check or options.vectorize
+                or options.backend != "python")
+
+
+def _unproven_guard_dims(
+    sub_report, need_injective: bool = True
+) -> Dict[int, Dict[int, str]]:
+    """Indirect dims whose index array is not fully statically proven.
+
+    These are the store dimensions that need exact-int guards when the
+    kernel runs with per-write checks (an unverified cell could hold a
+    float or bool).  Accumulated stores pass ``need_injective=False``:
+    duplicates are their semantics, so a static *bounded* proof alone
+    discharges the dimension.
+    """
+    out: Dict[int, Dict[int, str]] = {}
+    from repro.core.subscripts_indirect import STATIC
+
+    for write in sub_report.writes:
+        prop = sub_report.properties.get(write.index_array)
+        if (prop is not None and prop.source == STATIC
+                and (prop.injective or not need_injective)
+                and prop.bounded):
+            continue
+        out.setdefault(write.clause.index, {})[write.dim] = \
+            write.index_array
+    return out
 
 
 def _compile_array_traced(
@@ -249,8 +327,9 @@ def _compile_array_traced(
     params: Optional[Dict[str, int]],
     options: Optional[CodegenOptions],
     force_strategy: Optional[str],
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
-    report = analyze(src, params)
+    report = analyze(src, params, index_comps=index_comps)
     if options is not None and options.vectorize:
         # §8.2/§10 extension: interchange perfect nests whose inner
         # loop carries a dependence but whose outer loop does not, so
@@ -284,25 +363,100 @@ def _compile_array_traced(
             + "; ".join(str(f) for f in witnesses)
         )
 
-    if options is None:
-        options = CodegenOptions(
-            bounds_checks=False,
-            collision_checks=report.collision.checks_needed,
-            empties_check=report.empties.checks_needed,
+    # Indirect writes: when the schedule is safe but collision/empties
+    # stay inconclusive *only* because an index array's properties are
+    # runtime-verifiable, emit the guarded dual-schedule kernel — an
+    # O(n) verifier picks the unchecked (optionally parallel) fast
+    # path or the fully checked serial fallback at call time.
+    sub = report.subscripts
+    guard = None
+    static_discharged = False
+    unproven_dims: Dict[int, Dict[int, str]] = {}
+    if sub is not None and sub.has_indirect:
+        unproven_dims = _unproven_guard_dims(sub)
+        if (report.schedule.ok and force_strategy is None
+                and _guard_compatible(options)):
+            from repro.core.subscripts_indirect import plan_guard
+
+            with span("subscript-guard"):
+                guard = plan_guard(report.comp, sub, params,
+                                   mode="scatter")
+            if guard is not None and not guard.verify:
+                # Every property proven statically: the collision and
+                # empties analyses already came back NONE, so the
+                # plain thunkless path elides the checks outright.
+                static_discharged = True
+                guard = None
+    guarded = guard is not None
+    if guarded:
+        sub.guarded = True
+        sub.guard = guard
+        names = ", ".join(sorted(s.array for s in guard.verify))
+        sub.decisions.append((
+            "guarded kernel", "accepted",
+            f"runtime verifier over {names} picks the unchecked fast "
+            "schedule or the checked serial fallback per call",
+        ))
+        report.notes.append(
+            f"guarded dual-schedule kernel: O(n) runtime verifier "
+            f"over {names} elides per-write checks on the fast path"
         )
-        if report.collision.checks_needed:
-            report.notes.append(
-                "runtime collision checks compiled (analysis inconclusive)"
+    elif static_discharged:
+        sub.decisions.append((
+            "static proof", "accepted",
+            "every subscript property proven statically; the plain "
+            "unchecked schedule needs no runtime verifier",
+        ))
+        report.notes.append(
+            "indirect subscripts statically proven injective and "
+            "bounded: unchecked scatter, no runtime verifier"
+        )
+    elif sub is not None and sub.has_indirect and report.schedule.ok \
+            and force_strategy is None and _guard_compatible(options):
+        sub.decisions.append((
+            "guarded kernel", "rejected",
+            "no sound guard plan (opaque inner subscripts, unknown "
+            "static ranges, or multi-dimension index use); per-write "
+            "checks compiled instead",
+        ))
+
+    if options is None:
+        if guarded:
+            options = CodegenOptions()
+        else:
+            options = CodegenOptions(
+                bounds_checks=False,
+                collision_checks=report.collision.checks_needed,
+                empties_check=report.empties.checks_needed,
             )
-        if report.empties.checks_needed:
-            report.notes.append(
-                "runtime empties check compiled (analysis inconclusive)"
-            )
+            if report.collision.checks_needed:
+                report.notes.append(
+                    "runtime collision checks compiled (analysis "
+                    "inconclusive)"
+                )
+            if report.empties.checks_needed:
+                report.notes.append(
+                    "runtime empties check compiled (analysis "
+                    "inconclusive)"
+                )
+            if unproven_dims:
+                # An unverified index array can hold out-of-range or
+                # non-int values; unchecked stores would wrap Python
+                # list indices silently or crash with a raw error.
+                options.bounds_checks = True
+                report.notes.append(
+                    "indirect subscripts without a guard plan: "
+                    "runtime bounds + exact-int checks compiled on "
+                    "every indirect store"
+                )
     report.checks = options
 
     strategy = force_strategy
     if strategy is None:
-        strategy = "thunkless" if report.schedule.ok else "thunked"
+        if guarded:
+            strategy = "guarded"
+        else:
+            strategy = "thunkless" if report.schedule.ok else "thunked"
         for failure in report.schedule.failures:
             report.notes.append(f"thunk fallback: {failure}")
     elif strategy == "thunkless" and not report.schedule.ok:
@@ -317,11 +471,12 @@ def _compile_array_traced(
 
     parallel_plan = None
     if options.parallel:
-        if strategy == "thunkless":
+        if strategy in ("thunkless", "guarded"):
             from repro.core.parallel import plan_parallelism
 
             parallel_plan = plan_parallelism(
-                report.comp, report.edges, report.parallelism
+                report.comp, report.edges, report.parallelism,
+                subscripts=sub,
             )
             for entry in parallel_plan.clauses:
                 if entry.kind == "sequential":
@@ -339,7 +494,25 @@ def _compile_array_traced(
 
     try:
         with span("codegen"):
-            if strategy == "thunkless":
+            if strategy == "guarded":
+                source = lower(LoweringJob(
+                    mode="guarded", comp=report.comp,
+                    options=options, schedule=report.schedule,
+                    params=params, edges=report.edges,
+                    parallel_plan=parallel_plan,
+                    parallel_log=report.parallel,
+                    empties_needed=report.empties.checks_needed,
+                    subscripts=guard,
+                ), report)
+            elif strategy == "thunkless":
+                job_guard = None
+                if unproven_dims:
+                    from repro.core.subscripts_indirect import GuardPlan
+
+                    job_guard = GuardPlan(
+                        verify=(), mode="scatter",
+                        indirect_dims=unproven_dims,
+                    )
                 source = lower(LoweringJob(
                     mode="thunkless", comp=report.comp,
                     options=options, schedule=report.schedule,
@@ -347,6 +520,7 @@ def _compile_array_traced(
                     parallel_plan=parallel_plan,
                     parallel_log=report.parallel,
                     empties_needed=report.empties.checks_needed,
+                    subscripts=job_guard,
                 ), report)
                 if options.vectorize:
                     report.notes.append(
@@ -409,6 +583,7 @@ def _compile_accum_array(
     src,
     params: Optional[Dict[str, int]] = None,
     options: Optional[CodegenOptions] = None,
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     """Compile ``accumArray f init bounds pairs`` (§3/§7 extension).
 
@@ -420,7 +595,7 @@ def _compile_accum_array(
     call when it is a plain variable, otherwise rejected.
     """
     with trace_scope("compile") as scope:
-        compiled = _compile_accum_traced(src, params, options)
+        compiled = _compile_accum_traced(src, params, options, index_comps)
     compiled.report.trace = scope
     compiled.report.timings = span_timings(scope)
     return compiled
@@ -430,6 +605,7 @@ def _compile_accum_traced(
     src,
     params: Optional[Dict[str, int]],
     options: Optional[CodegenOptions],
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     from repro.codegen.exprs import CodegenError
     from repro.core.accum import (
@@ -461,9 +637,17 @@ def _compile_accum_traced(
             "combining function must be a two-parameter lambda or a name"
         )
 
+    with span("subscripts"):
+        from repro.core.subscripts_indirect import analyze_subscripts
+
+        sub = analyze_subscripts(comp, params, index_comps)
     with span("collisions"):
-        collision = analyze_collisions(comp)
-        empties = analyze_empties(comp, collision)
+        collision = analyze_collisions(
+            comp, injective=sub.static_injective, params=params
+        )
+        empties = analyze_empties(
+            comp, collision, bounded=sub.static_bounded, params=params
+        )
     with span("dependence"):
         edges = flow_edges(comp) if comp.name else []
 
@@ -483,21 +667,90 @@ def _compile_accum_traced(
     with span("parallelism"):
         report = _base_report(comp, collision, empties, edges, schedule)
     report.strategy = "accumulate"
-    report.checks = options or CodegenOptions()
+    report.subscripts = sub
+
+    # Indirect accumulation (histograms): duplicates are semantics, so
+    # only bounds and int-ness of the index array are at stake.  A
+    # static bounded proof elides even those; otherwise the guarded
+    # kernel verifies bounds once per call, and failing that every
+    # store runs checked.
+    guard = None
+    static_discharged = False
+    unproven_dims: Dict[int, Dict[int, str]] = {}
+    if sub.has_indirect:
+        unproven_dims = _unproven_guard_dims(sub, need_injective=False)
+        if _guard_compatible(options):
+            from repro.core.subscripts_indirect import plan_guard
+
+            with span("subscript-guard"):
+                guard = plan_guard(comp, sub, params, mode="accum")
+            if guard is not None and not guard.verify:
+                static_discharged = True
+                guard = None
+    guarded = guard is not None
+    if guarded:
+        sub.guarded = True
+        sub.guard = guard
+        names = ", ".join(sorted(s.array for s in guard.verify))
+        sub.decisions.append((
+            "guarded kernel", "accepted",
+            f"histogram fast path: runtime bounds verifier over "
+            f"{names} elides per-store checks",
+        ))
+        report.notes.append(
+            f"guarded accumulation: O(n) bounds verifier over {names} "
+            "elides per-store checks on the fast path"
+        )
+    elif static_discharged:
+        sub.decisions.append((
+            "static proof", "accepted",
+            "index array statically bounded; accumulation needs no "
+            "runtime verifier",
+        ))
+        report.notes.append(
+            "indirect accumulation statically bounded: unchecked "
+            "stores, no runtime verifier"
+        )
+    if options is None:
+        options = CodegenOptions()
+        if unproven_dims and not guarded:
+            options.bounds_checks = True
+            report.notes.append(
+                "indirect accumulation without a guard plan: runtime "
+                "bounds + exact-int checks compiled on every store"
+            )
+    report.checks = options
     report.notes += [f"combiner: {kind}" + (f" ({op})" if op else ""),
                      strategy_note]
-    if options is not None and options.parallel:
+    if options.parallel:
         report.notes.append(
             "parallel backend inapplicable: accumulated arrays "
             "combine element-wise in schedule order"
         )
     try:
         with span("codegen"):
-            source = lower(LoweringJob(
-                mode="accum", comp=comp, options=report.checks,
-                schedule=schedule, params=params,
-                combine=combine, init_ast=init_ast,
-            ), report)
+            if guarded:
+                source = lower(LoweringJob(
+                    mode="guarded", comp=comp, options=options,
+                    schedule=schedule, params=params,
+                    combine=combine, init_ast=init_ast,
+                    subscripts=guard,
+                ), report)
+            else:
+                job_guard = None
+                if unproven_dims:
+                    from repro.core.subscripts_indirect import GuardPlan
+
+                    job_guard = GuardPlan(
+                        verify=(), mode="accum",
+                        indirect_dims=unproven_dims,
+                    )
+                source = lower(LoweringJob(
+                    mode="accum", comp=comp, options=options,
+                    schedule=schedule, params=params,
+                    combine=combine, init_ast=init_ast,
+                    subscripts=job_guard,
+                ), report)
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
     with span("exec"):
@@ -648,6 +901,7 @@ def compile(
     explain: bool = False,
     dist: bool = False,
     workers: int = 0,
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     """Compile an array definition — the single public entry point.
 
@@ -687,12 +941,21 @@ def compile(
         (see :func:`repro.program.compile.compile_program`).  A
         single definition has no convergence loop to distribute, so
         ``dist=True`` on one is a :class:`CompileError`.
+    index_comps:
+        Loop IR of previously compiled definitions, keyed by binding
+        name (see :mod:`repro.core.subscripts_indirect`): when an
+        index array used in a write subscript (``a!(p!i) := ...``) was
+        itself built by a visible comprehension, its properties
+        (injective/monotone/bounded) are proven *statically* and the
+        runtime verifier is skipped.  The program compiler threads
+        this automatically; single-definition callers rarely need it.
     """
     with dependence_memo():
         compiled = _compile_dispatch(
             src, strategy=strategy, params=params, options=options,
             old_array=old_array, force_strategy=force_strategy,
             cache=cache, dist=dist, workers=workers,
+            index_comps=index_comps,
         )
     if explain:
         from repro.obs.explain import explain_report
@@ -712,6 +975,7 @@ def _compile_dispatch(
     cache,
     dist: bool = False,
     workers: int = 0,
+    index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     if strategy not in STRATEGIES:
         raise CompileError(
@@ -772,6 +1036,14 @@ def _compile_dispatch(
         )
 
     if cache is not None and cache is not False:
+        if index_comps:
+            # Loop IR is not serializable into a cache key; the
+            # program compiler (which owns the only real producer of
+            # index_comps) never routes through here with them.
+            raise CompileError(
+                "index_comps= cannot be combined with cache= (compiled "
+                "loop IR does not key a cache entry); drop one"
+            )
         from repro.service.api import CompileRequest
         from repro.service.service import resolve_cache
 
@@ -781,12 +1053,13 @@ def _compile_dispatch(
         )).value()
 
     if resolved == "array":
-        return _compile_array(src, params, options, force_strategy)
+        return _compile_array(src, params, options, force_strategy,
+                              index_comps)
     if resolved == "inplace":
         return _compile_array_inplace(src, old_array, params, options)
     if resolved == "bigupd":
         return _compile_bigupd(src, params, options)
-    return _compile_accum_array(src, params, options)
+    return _compile_accum_array(src, params, options, index_comps)
 
 
 def _deprecated(old_name: str, hint: str) -> None:

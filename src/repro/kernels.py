@@ -232,6 +232,51 @@ array (1,n)
 """
 
 # ----------------------------------------------------------------------
+# Irregular-subscript kernels (gather/scatter; the subscript-property
+# analysis in repro.core.subscripts_indirect).
+
+#: Permutation scatter: ``p`` is opaque at compile time, so the
+#: compiler emits the guarded dual-schedule kernel — an O(n) runtime
+#: verifier proves ``p`` injective and in bounds, then the scatter
+#: runs unchecked (and dep-free parallel when requested); a bad ``p``
+#: replays the loop with full bounds/collision/definedness checks.
+PERMUTATION_SCATTER = """
+letrec* a = array (1,n) [ (p!i) := b!i | i <- [1..n] ] in a
+"""
+
+#: Histogram: accumulation through an opaque key array.  Duplicate
+#: keys are the whole point, so only bounds and int-ness are verified
+#: at runtime; the fast path then accumulates with no per-store checks.
+HISTOGRAM = """
+accumArray (\\a b -> a + b) 0 (1,m) [ (k!i) := 1 | i <- [1..n] ]
+"""
+
+#: Sparse matrix-vector product over CSR-style arrays: ``ptr`` bounds
+#: each row's slice of ``v``/``col``, ``col`` gathers from ``x``.  The
+#: writes stay affine (one per row), so this exercises the *gather*
+#: side of the analysis: read-side index arrays are hazard-free and
+#: the loops compile thunkless.
+SPMV_CSR = """
+letrec* y = array (1,m)
+  [ i := sum [ v!k * x!(col!k) | k <- [ptr!i .. ptr!(i+1)-1] ]
+  | i <- [1..m] ]
+in y
+"""
+
+#: Scatter through a *visible* permutation: the index array's own
+#: comprehension (a reversal, affine in ``i`` with coefficient -1) is
+#: in the same program, so injectivity/boundedness are proven
+#: statically and the scatter compiles to a plain unchecked schedule —
+#: no runtime verifier at all.  (``b`` is a sole-consumer producer;
+#: cross-binding fusion inlines it into the scatter's loop.)
+PROGRAM_SCATTER = """
+p = array (1,n) [ i := n + 1 - i | i <- [1..n] ];
+b = array (1,n) [ i := i * (i + 1) | i <- [1..n] ];
+a = array (1,n) [ (p!i) := b!i | i <- [1..n] ];
+main = a
+"""
+
+# ----------------------------------------------------------------------
 # Whole-program kernels (multi-binding; for repro.compile_program and
 # the lazy oracle repro.run_program).
 
@@ -359,6 +404,8 @@ PROGRAM_CATALOG: Dict[str, Dict] = {
                      "params": {"m": 5, "n": 7, "r": 2, "s": 4}},
     "program_stencil_chain": {"source": PROGRAM_STENCIL_CHAIN,
                               "params": {"m": 10}},
+    "program_scatter": {"source": PROGRAM_SCATTER,
+                        "params": {"n": 16}},
 }
 
 
@@ -459,6 +506,43 @@ def ref_matmul(x: List[List[float]], y: List[List[float]], n: int):
     return out
 
 
+def ref_scatter(p: List[int], b: List, n: int, lo: int = 1) -> List:
+    """Hand-coded permutation scatter: ``out[p[i]] = b[i]`` (1-based).
+
+    ``p``/``b`` are 0-based Python lists of the arrays' cells; ``lo``
+    is the output's low bound.  No validation — feed it a permutation.
+    """
+    out = [None] * n
+    for i in range(n):
+        out[p[i] - lo] = b[i]
+    return out
+
+
+def ref_histogram(k: List[int], m: int, lo: int = 1) -> List[int]:
+    """Hand-coded histogram: counts of each key in ``[lo, lo+m-1]``."""
+    out = [0] * m
+    for key in k:
+        out[key - lo] += 1
+    return out
+
+
+def ref_spmv(ptr: List[int], col: List[int], v: List, x: List,
+             m: int) -> List:
+    """Hand-coded CSR sparse matrix-vector product (1-based logical).
+
+    ``ptr`` has ``m + 1`` entries (1-based positions into ``v``/
+    ``col``); ``col`` holds 1-based column indices into ``x``.  All
+    four inputs are 0-based Python lists of the arrays' cells.
+    """
+    out = [0] * m
+    for i in range(m):
+        acc = 0
+        for j in range(ptr[i] - 1, ptr[i + 1] - 1):
+            acc += v[j] * x[col[j] - 1]
+        out[i] = acc
+    return out
+
+
 def mesh_cells(m: int, seed: int = 0) -> List[float]:
     """A deterministic test mesh (flat row-major, 1-based logical)."""
     return [
@@ -492,4 +576,8 @@ CATALOG: Dict[str, Dict] = {
     "saxpy_row": {"source": SAXPY_ROW, "kind": "inplace", "old": "a"},
     "scale_row": {"source": SCALE_ROW, "kind": "inplace", "old": "a"},
     "reverse": {"source": REVERSE, "kind": "inplace", "old": "a"},
+    "permutation_scatter": {"source": PERMUTATION_SCATTER,
+                            "kind": "monolithic"},
+    "histogram": {"source": HISTOGRAM, "kind": "accum"},
+    "spmv_csr": {"source": SPMV_CSR, "kind": "monolithic"},
 }

@@ -24,9 +24,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 #: Decision areas, in render order.
-AREAS = ("compile", "strategy", "schedule", "checks", "inplace",
-         "vectorize", "parallel", "backend", "fuse", "reuse", "iterate",
-         "dist", "note")
+AREAS = ("compile", "strategy", "schedule", "checks", "subscript",
+         "inplace", "vectorize", "parallel", "backend", "fuse", "reuse",
+         "iterate", "dist", "note")
 
 ACCEPTED = "accepted"
 REJECTED = "rejected"
@@ -135,6 +135,26 @@ def _explain_checks(out: Explanation, report, prefix: str) -> None:
                     "compiled")
 
 
+def _explain_subscripts(out: Explanation, report, prefix: str) -> None:
+    sub = getattr(report, "subscripts", None)
+    if sub is None or not getattr(sub, "has_indirect", False):
+        return
+    for subject, verdict, reason in sub.decisions:
+        out.add("subscript", prefix + subject, verdict, reason)
+    if sub.gather_arrays:
+        out.add("subscript", prefix + "gathers", INFO,
+                "read-side index arrays (no write hazard): "
+                + ", ".join(sub.gather_arrays))
+    if sub.guarded and sub.guard is not None:
+        specs = "; ".join(
+            f"{s.array} ({'injective+bounded' if s.need_injective else 'bounded'})"
+            for s in sub.guard.verify
+        )
+        out.add("subscript", prefix + "runtime verifier", INFO,
+                f"O(n) scan per call over {specs}; failure falls back "
+                "to the fully checked serial schedule")
+
+
 def _explain_inplace(out: Explanation, report, prefix: str) -> None:
     plan = report.inplace_plan
     if plan is None:
@@ -213,12 +233,16 @@ def explain_definition_report(report, prefix: str = "",
                        "buffer",
             "inplace-copy": "§9 plan fell back to a whole copy",
             "accumulate": "accumArray combiner drives the fold order",
+            "guarded": "dual-schedule indirect-write kernel; a runtime "
+                       "subscript verifier picks the unchecked fast "
+                       "path or the checked fallback per call",
         }
         out.add("strategy", prefix + "strategy", verdict,
                 f"{report.strategy}: "
                 + reasons.get(report.strategy, "selected by shape"))
     _explain_schedule(out, report, prefix)
     _explain_checks(out, report, prefix)
+    _explain_subscripts(out, report, prefix)
     _explain_inplace(out, report, prefix)
     _explain_vectorize(out, report, prefix)
     _explain_parallel(out, report, prefix)
@@ -239,6 +263,8 @@ def _fallback_area(text: str) -> str:
         return "inplace"
     if text.startswith("dist"):
         return "dist"
+    if text.startswith("subscript"):
+        return "subscript"
     return "reuse"
 
 

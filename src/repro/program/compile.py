@@ -25,6 +25,7 @@ rejection is recorded instead of silently degrading.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.comprehension.build import BuildError, find_array_comp
@@ -228,6 +229,7 @@ def _compile_program_traced(src, params, options, result, fuse=True,
         by_name=by_name, kinds=kinds, extras=extras, graph=graph,
         last=last, protected=protected, params=params, options=options,
         report=report, dist=dist, workers=workers,
+        index_users=_index_array_names(binds),
     )
     steps = []
     for name in schedule:
@@ -248,6 +250,29 @@ def _compile_program_traced(src, params, options, result, fuse=True,
 
 # ----------------------------------------------------------------------
 # Binding classification.
+
+
+def _index_array_names(binds: Sequence[ast.Binding]) -> Set[str]:
+    """Names whose *cells* become subscripts somewhere in the program.
+
+    ``p`` in ``a!(p!i) := v`` (scatter destination) or ``x!(col!k)``
+    (gather).  Their cells must stay exact python ints: the C tier
+    computes all-integer kernels in double, and a double cannot index.
+    """
+    names: Set[str] = set()
+
+    def scan(sub: ast.Node) -> None:
+        for node in sub.walk():
+            if isinstance(node, ast.Index) and isinstance(node.arr, ast.Var):
+                names.add(node.arr.name)
+
+    for bind in binds:
+        for node in bind.expr.walk():
+            if isinstance(node, ast.SVPair):
+                scan(node.sub)
+            elif isinstance(node, ast.Index):
+                scan(node.idx)
+    return names
 
 
 def _reject_duplicates(binds: Sequence[ast.Binding]) -> None:
@@ -480,7 +505,7 @@ class _CompileState:
 
     def __init__(self, *, by_name, kinds, extras, graph, last, protected,
                  params, options, report: ProgramReport, dist=False,
-                 workers=0):
+                 workers=0, index_users=frozenset()):
         self.by_name = by_name
         self.kinds = kinds
         self.extras = extras
@@ -497,6 +522,15 @@ class _CompileState:
         self.produced: Dict[str, object] = {}
         #: Buffers already donated — a buffer is donated at most once.
         self.consumed: Set[str] = set()
+        #: Loop IR of already-compiled array bindings, keyed by name.
+        #: Later bindings that write through one of these as an index
+        #: array (``a!(p!i) := ...``) get its subscript properties
+        #: proven *statically* instead of runtime-verified (see
+        #: :mod:`repro.core.subscripts_indirect`).
+        self.index_comps: Dict[str, object] = {}
+        #: Names whose cells subscript a later binding; these must
+        #: compile on the python backend (exact int cells).
+        self.index_users = index_users
 
     # -- helpers -------------------------------------------------------
 
@@ -563,12 +597,51 @@ class _CompileState:
 
     # -- array bindings ------------------------------------------------
 
+    def _note_subscripts(self, name: str, report) -> None:
+        """Surface a binding's subscript verdicts at program level."""
+        sub = getattr(report, "subscripts", None)
+        if sub is None or not getattr(sub, "has_indirect", False):
+            return
+        for subject, verdict, reason in sub.decisions:
+            if verdict in ("fallback", "rejected"):
+                self.report.fallbacks.append(
+                    f"subscript {name!r}: {subject} — {reason}"
+                )
+            else:
+                self.report.notes.append(
+                    f"subscript {name!r}: {subject} — {reason}"
+                )
+
+    def _binding_options(self, name: str):
+        """Per-binding codegen options.
+
+        A binding whose cells subscript a later binding is pinned to
+        the python backend: the C tier computes all-integer kernels in
+        double, and a double cell cannot serve as a list index in the
+        consumer's (python-emitted) scatter or gather.
+        """
+        options = self.options
+        requested = getattr(options, "backend", "python") or "python"
+        if requested != "python" and name in self.index_users:
+            self.report.fallbacks.append(
+                f"backend {name!r}: stays on python — its cells "
+                f"subscript a later binding, and the {requested} tier "
+                "computes integer kernels in double (a double cannot "
+                "index)"
+            )
+            return _dc_replace(options, backend="python")
+        return options
+
     def _compile_array(self, name: str, bind: ast.Binding) -> ProgramStep:
         wrapped = _wrap(bind)
+        options = self._binding_options(name)
         mono = pipeline.compile(wrapped, strategy="array",
-                                params=self.params, options=self.options)
+                                params=self.params, options=options,
+                                index_comps=self.index_comps or None)
+        self.index_comps[name] = mono.report.comp
+        self._note_subscripts(name, mono.report)
         bounds = mono.report.comp.bounds
-        reused = self._try_reuse(name, wrapped, bounds)
+        reused = self._try_reuse(name, wrapped, bounds, options)
         self.produced[name] = bounds
         if reused is not None:
             donor, compiled = reused
@@ -594,8 +667,10 @@ class _CompileState:
                    detail="monolithic array definition")
         return ProgramStep(name=name, kind="array", compiled=mono)
 
-    def _try_reuse(self, name: str, wrapped, bounds):
+    def _try_reuse(self, name: str, wrapped, bounds, options=None):
         """First dead producer whose storage this binding can take."""
+        if options is None:
+            options = self.options
         fallbacks = self.report.fallbacks
         for cand in self.graph[name]:
             if self.kinds.get(cand) in ("function", "scalar", None):
@@ -617,7 +692,7 @@ class _CompileState:
             try:
                 compiled = pipeline.compile(
                     wrapped, strategy="inplace", old_array=cand,
-                    params=self.params, options=self.options,
+                    params=self.params, options=options,
                 )
             except CompileError as exc:
                 fallbacks.append(
@@ -680,7 +755,9 @@ class _CompileState:
     def _compile_accum(self, name, bind) -> ProgramStep:
         compiled = pipeline.compile(bind.expr, strategy="accum",
                                     params=self.params,
-                                    options=self.options)
+                                    options=self._binding_options(name),
+                                    index_comps=self.index_comps or None)
+        self._note_subscripts(name, compiled.report)
         self.produced[name] = compiled.report.comp.bounds
         self._info(name=name, kind="accum",
                    strategy=compiled.report.strategy,

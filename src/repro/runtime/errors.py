@@ -22,6 +22,24 @@ class BoundsError(ArrayError, IndexError):
         super().__init__(f"subscript {subscript!r} out of bounds {bounds!r}")
 
 
+class IndexTypeError(ArrayError, TypeError):
+    """A subscript value read from an index array was not an integer.
+
+    Indirect writes (``a!(p!i) := ...``) trust the index array to hold
+    machine integers; a float or bool cell would either crash deep in
+    list indexing or silently truncate, so the guarded kernels reject
+    it eagerly with the array named.
+    """
+
+    def __init__(self, value, array=""):
+        self.value = value
+        self.array = array
+        where = f" in index array {array!r}" if array else ""
+        super().__init__(
+            f"subscript value {value!r}{where} is not an integer"
+        )
+
+
 class WriteCollisionError(ArrayError):
     """Two subscript/value pairs defined the same element (paper §7).
 

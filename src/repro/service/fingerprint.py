@@ -52,7 +52,11 @@ from repro.lang.parser import parse_expr
 #: /6: distribution planning (IteratePlan grew a ``dist`` plan,
 #:     ProgramReport a ``dist`` area; cached program artifacts
 #:     predating the planner cannot carry either).
-PIPELINE_SALT = "repro-pipeline/6"
+#: /7: subscript-property analysis (indirect writes now compile to
+#:     guarded dual-schedule kernels or statically proven unchecked
+#:     scatters; Report grew a ``subscripts`` field and generated
+#:     sources a runtime-verifier preamble).
+PIPELINE_SALT = "repro-pipeline/7"
 
 
 # ----------------------------------------------------------------------

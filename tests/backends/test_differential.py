@@ -47,6 +47,9 @@ _PARAMS = {
     "saxpy_row": {"m": 5, "n": 7, "i": 2, "k": 3, "s": 0.5},
     "scale_row": {"m": 5, "n": 7, "i": 2, "s": 1.5},
     "reverse": {"n": 11},
+    "permutation_scatter": {"n": 12},
+    "histogram": {"n": 20, "m": 6},
+    "spmv_csr": {"m": 4},
 }
 
 
@@ -74,6 +77,25 @@ def _inputs(name):
                            [float(i % 4) + 0.5 for i in range(n)]),
             "c": FlatArray(Bounds(1, n),
                            [0.25 + 0.01 * i for i in range(n)]),
+        }
+    if name == "permutation_scatter":
+        n = params["n"]
+        return {
+            "p": FlatArray(Bounds(1, n),
+                           [((5 * i) % n) + 1 for i in range(n)]),
+            "b": FlatArray(Bounds(1, n),
+                           [0.5 * i - 2.0 for i in range(n)]),
+        }
+    if name == "histogram":
+        n, m = params["n"], params["m"]
+        return {"k": FlatArray(Bounds(1, n),
+                               [(i * 7) % m + 1 for i in range(n)])}
+    if name == "spmv_csr":
+        return {
+            "ptr": FlatArray(Bounds(1, 5), [1, 3, 4, 6, 7]),
+            "col": FlatArray(Bounds(1, 6), [1, 3, 2, 1, 4, 2]),
+            "v": FlatArray(Bounds(1, 6), [5.0, 1.0, 2.0, 3.0, 4.0, 6.0]),
+            "x": FlatArray(Bounds(1, 4), [1.0, 2.0, 3.0, 4.0]),
         }
     if name == "matmul":
         n = params["n"]

@@ -1,0 +1,181 @@
+"""Differential tests: irregular-subscript kernels vs the lazy oracle.
+
+The three catalog kernels (permutation scatter, histogram, CSR SpMV)
+must be bit-identical to the reference interpreter — including under
+hypothesis-randomized index arrays, where the verifier's fast/fallback
+decision varies per draw.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.codegen.support import FlatArray, VERIFY_STATS
+from repro.kernels import (
+    HISTOGRAM,
+    PERMUTATION_SCATTER,
+    SPMV_CSR,
+    ref_histogram,
+    ref_scatter,
+    ref_spmv,
+)
+from repro.runtime.bounds import Bounds
+from repro.runtime.errors import ArrayError
+
+
+def arr(vals, lo=1):
+    if not vals:
+        return FlatArray(Bounds(1, 0), [])
+    return FlatArray(Bounds(lo, lo + len(vals) - 1), list(vals))
+
+
+def cells(result, lo, hi):
+    return [result[i] for i in range(lo, hi + 1)]
+
+
+class TestScatterKernel:
+    def test_matches_oracle_and_reference(self):
+        n = 12
+        compiled = repro.compile(PERMUTATION_SCATTER, params={"n": n})
+        assert compiled.report.strategy == "guarded"
+        p_vals = [((5 * i) % n) + 1 for i in range(n)]  # gcd(5,12)=1
+        b_vals = [10 * (i + 1) for i in range(n)]
+        out = compiled({"p": arr(p_vals), "b": arr(b_vals)})
+        oracle = repro.evaluate(PERMUTATION_SCATTER,
+                                {"n": n, "p": arr(p_vals),
+                                 "b": arr(b_vals)})
+        assert cells(out, 1, n) == cells(oracle, 1, n)
+        assert cells(out, 1, n) == ref_scatter(p_vals, b_vals, n)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_permutations(self, data):
+        n = data.draw(st.integers(1, 24), label="n")
+        perm = data.draw(st.permutations(list(range(1, n + 1))),
+                         label="p")
+        b_vals = data.draw(
+            st.lists(st.integers(-50, 50), min_size=n, max_size=n),
+            label="b",
+        )
+        compiled = repro.compile(PERMUTATION_SCATTER, params={"n": n})
+        VERIFY_STATS.reset()
+        out = compiled({"p": arr(perm), "b": arr(b_vals)})
+        assert VERIFY_STATS.fast_path == 1
+        assert cells(out, 1, n) == ref_scatter(perm, b_vals, n)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_index_arrays_match_oracle(self, data):
+        # Arbitrary (possibly colliding / out-of-bounds) index arrays:
+        # compiled and oracle must agree on value *or* on failure.
+        n = data.draw(st.integers(1, 12), label="n")
+        p_vals = data.draw(
+            st.lists(st.integers(-2, n + 2), min_size=n, max_size=n),
+            label="p",
+        )
+        b_vals = list(range(1, n + 1))
+        compiled = repro.compile(PERMUTATION_SCATTER, params={"n": n})
+        env = {"p": arr(p_vals), "b": arr(b_vals)}
+        try:
+            expected = cells(
+                repro.evaluate(PERMUTATION_SCATTER,
+                               {"n": n, **env}),
+                1, n,
+            )
+            failure = None
+        except ArrayError as exc:
+            expected, failure = None, type(exc)
+        if failure is None:
+            assert cells(compiled(env), 1, n) == expected
+        else:
+            with pytest.raises(failure):
+                compiled(env)
+
+
+class TestHistogramKernel:
+    def test_matches_oracle_and_reference(self):
+        n, m = 20, 6
+        compiled = repro.compile(HISTOGRAM, params={"n": n, "m": m})
+        k_vals = [(i * 7) % m + 1 for i in range(n)]
+        out = compiled({"k": arr(k_vals)})
+        oracle = repro.evaluate(HISTOGRAM,
+                                {"n": n, "m": m, "k": arr(k_vals)})
+        assert cells(out, 1, m) == cells(oracle, 1, m)
+        assert cells(out, 1, m) == ref_histogram(k_vals, m)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_keys(self, data):
+        m = data.draw(st.integers(1, 8), label="m")
+        n = data.draw(st.integers(1, 30), label="n")
+        k_vals = data.draw(
+            st.lists(st.integers(1, m), min_size=n, max_size=n),
+            label="k",
+        )
+        compiled = repro.compile(HISTOGRAM, params={"n": n, "m": m})
+        VERIFY_STATS.reset()
+        out = compiled({"k": arr(k_vals)})
+        assert VERIFY_STATS.fast_path == 1
+        assert cells(out, 1, m) == ref_histogram(k_vals, m)
+        assert sum(cells(out, 1, m)) == n
+
+
+class TestSpmvKernel:
+    def test_matches_oracle_and_reference(self):
+        # 4x4 sparse matrix, 6 nonzeros (CSR, 1-based).
+        ptr = [1, 3, 4, 6, 7]
+        col = [1, 3, 2, 1, 4, 2]
+        v = [5, 1, 2, 3, 4, 6]
+        x = [1, 2, 3, 4]
+        m = 4
+        compiled = repro.compile(SPMV_CSR, params={"m": m})
+        assert compiled.report.strategy == "thunkless"
+        assert compiled.report.subscripts.gather_arrays == ("col",)
+        env = {"ptr": arr(ptr), "col": arr(col), "v": arr(v),
+               "x": arr(x)}
+        out = compiled(env)
+        oracle = repro.evaluate(SPMV_CSR, {"m": m, **env})
+        assert cells(out, 1, m) == cells(oracle, 1, m)
+        assert cells(out, 1, m) == ref_spmv(ptr, col, v, x, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_sparse_matrices(self, data):
+        m = data.draw(st.integers(1, 6), label="m")
+        ncols = data.draw(st.integers(1, 6), label="ncols")
+        row_sizes = data.draw(
+            st.lists(st.integers(0, 4), min_size=m, max_size=m),
+            label="row_sizes",
+        )
+        nnz = sum(row_sizes)
+        ptr = [1]
+        for size in row_sizes:
+            ptr.append(ptr[-1] + size)
+        col = data.draw(
+            st.lists(st.integers(1, ncols), min_size=nnz,
+                     max_size=nnz),
+            label="col",
+        )
+        v = data.draw(
+            st.lists(st.integers(-9, 9), min_size=nnz, max_size=nnz),
+            label="v",
+        )
+        x = data.draw(
+            st.lists(st.integers(-9, 9), min_size=ncols,
+                     max_size=ncols),
+            label="x",
+        )
+        compiled = repro.compile(SPMV_CSR, params={"m": m})
+        env = {"ptr": arr(ptr), "col": arr(col), "v": arr(v),
+               "x": arr(x)}
+        out = compiled(env)
+        assert cells(out, 1, m) == ref_spmv(ptr, col, v, x, m)
+
+    def test_empty_rows(self):
+        # Every row empty: ptr is constant, the sum ranges are empty.
+        m = 3
+        compiled = repro.compile(SPMV_CSR, params={"m": m})
+        env = {"ptr": arr([1, 1, 1, 1]), "col": arr([]),
+               "v": arr([]), "x": arr([7, 8])}
+        out = compiled(env)
+        assert cells(out, 1, m) == [0, 0, 0]

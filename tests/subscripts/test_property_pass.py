@@ -1,0 +1,208 @@
+"""Unit tests for the subscript-property pass.
+
+Covers static classification from a visible index-array
+comprehension, runtime downgrades, gather detection, and guard
+planning — no code generation here (see test_guarded_codegen).
+"""
+
+from repro.comprehension.build import build_array_comp
+from repro.core.pipeline import _parse, find_array_comp
+from repro.core.subscripts_indirect import (
+    NONE,
+    RUNTIME,
+    STATIC,
+    analyze_subscripts,
+    classify_index_comp,
+    find_indirect_writes,
+    plan_guard,
+)
+
+
+def comp_of(src, params=None):
+    name, bounds_ast, pairs_ast = find_array_comp(_parse(src))
+    return build_array_comp(name, bounds_ast, pairs_ast, params)
+
+
+SCATTER = "letrec* a = array (1,8) [ (p!i) := b!i | i <- [1..8] ] in a"
+
+
+class TestFindIndirectWrites:
+    def test_scatter_found(self):
+        comp = comp_of(SCATTER)
+        writes = find_indirect_writes(comp, None)
+        assert len(writes) == 1
+        assert writes[0].index_array == "p"
+        assert writes[0].dim == 0
+        assert writes[0].inner is not None
+
+    def test_affine_write_is_not_indirect(self):
+        comp = comp_of(
+            "letrec* a = array (1,8) [ i := b!i | i <- [1..8] ] in a"
+        )
+        assert find_indirect_writes(comp, None) == []
+
+    def test_opaque_inner_has_no_affine(self):
+        src = ("letrec* a = array (1,8) "
+               "[ (p!(q!i)) := 1 | i <- [1..8] ] in a")
+        comp = comp_of(src)
+        writes = find_indirect_writes(comp, None)
+        assert writes and writes[0].inner is None
+
+
+class TestClassifyIndexComp:
+    def test_reversal_is_static_permutation(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := 9 - i | i <- [1..8] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 8))
+        assert prop.source == STATIC
+        assert prop.injective and prop.monotone and prop.bounded
+        assert prop.total
+
+    def test_identity_is_static_permutation(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := i | i <- [1..8] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 8))
+        assert prop.source == STATIC and prop.total
+
+    def test_monotone_but_out_of_bounds(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := 2*i | i <- [1..8] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 8))
+        assert prop.source == STATIC
+        assert prop.injective and prop.monotone
+        assert prop.bounded is False
+
+    def test_constant_value_not_injective(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := 3 | i <- [1..8] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 8))
+        assert prop.source == STATIC
+        assert prop.injective is False and prop.bounded is True
+
+    def test_nonaffine_value_downgrades_to_runtime(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := i * i | i <- [1..8] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 8))
+        assert prop.source == RUNTIME
+        assert prop.injective is None
+
+    def test_guarded_clause_downgrades(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) "
+            "[ i := i | i <- [1..8], i > 0 ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 8))
+        assert prop.source == RUNTIME
+
+    def test_rank2_mixed_radix_injective(self):
+        # value = 4*(i-1) + j over a 4x4 box: row-major linearization,
+        # injective into (1,16).
+        pcomp = comp_of(
+            "letrec* p = array ((1,1),(4,4)) "
+            "[ (i,j) := 4*(i-1) + j | i <- [1..4], j <- [1..4] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 16))
+        assert prop.source == STATIC
+        assert prop.injective and prop.bounded and prop.total
+
+    def test_rank2_colliding_coefficients(self):
+        # value = i + j collides (1+2 == 2+1).
+        pcomp = comp_of(
+            "letrec* p = array ((1,1),(4,4)) "
+            "[ (i,j) := i + j | i <- [1..4], j <- [1..4] ] in p"
+        )
+        prop = classify_index_comp(pcomp, (1, 16))
+        assert prop.source == STATIC
+        assert prop.injective is False
+
+
+class TestAnalyzeSubscripts:
+    def test_opaque_index_array_is_runtime(self):
+        report = analyze_subscripts(comp_of(SCATTER))
+        assert report.has_indirect
+        prop = report.properties["p"]
+        assert prop.source == RUNTIME
+        assert report.verifiable == frozenset({"p"})
+        assert report.static_injective == frozenset()
+
+    def test_visible_comp_gives_static_proof(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := 9 - i | i <- [1..8] ] in p"
+        )
+        report = analyze_subscripts(comp_of(SCATTER),
+                                    index_comps={"p": pcomp})
+        assert report.static_injective == frozenset({"p"})
+        assert report.static_bounded == frozenset({"p"})
+
+    def test_gathers_recorded(self):
+        comp = comp_of(
+            "letrec* y = array (1,4) "
+            "[ i := x!(col!i) | i <- [1..4] ] in y"
+        )
+        report = analyze_subscripts(comp)
+        assert not report.has_indirect
+        assert report.gather_arrays == ("col",)
+
+    def test_opaque_inner_is_none_source(self):
+        comp = comp_of(
+            "letrec* a = array (1,8) "
+            "[ (p!(q!i)) := 1 | i <- [1..8] ] in a"
+        )
+        report = analyze_subscripts(comp)
+        assert report.properties["p"].source == NONE
+
+    def test_decisions_populated(self):
+        report = analyze_subscripts(comp_of(SCATTER))
+        assert any(v == "fallback" for _, v, _ in report.decisions)
+
+
+class TestPlanGuard:
+    def test_scatter_guard(self):
+        comp = comp_of(SCATTER)
+        report = analyze_subscripts(comp)
+        guard = plan_guard(comp, report, mode="scatter")
+        assert guard is not None
+        assert guard.mode == "scatter"
+        (spec,) = guard.verify
+        assert spec.array == "p" and spec.need_injective
+        assert (spec.inner_lo, spec.inner_hi) == (1, 8)
+        assert guard.indirect_dims
+
+    def test_accum_guard_bounds_only(self):
+        comp = comp_of(
+            "letrec* h = array (1,5) [ (k!i) := 1 | i <- [1..10] ] in h"
+        )
+        report = analyze_subscripts(comp)
+        guard = plan_guard(comp, report, mode="accum")
+        assert guard is not None
+        (spec,) = guard.verify
+        assert not spec.need_injective
+
+    def test_static_proof_leaves_nothing_to_verify(self):
+        pcomp = comp_of(
+            "letrec* p = array (1,8) [ i := 9 - i | i <- [1..8] ] in p"
+        )
+        comp = comp_of(SCATTER)
+        report = analyze_subscripts(comp, index_comps={"p": pcomp})
+        guard = plan_guard(comp, report, mode="scatter")
+        assert guard is not None and guard.verify == ()
+
+    def test_opaque_inner_refuses_guard(self):
+        comp = comp_of(
+            "letrec* a = array (1,8) "
+            "[ (p!(q!i)) := 1 | i <- [1..8] ] in a"
+        )
+        report = analyze_subscripts(comp)
+        assert plan_guard(comp, report, mode="scatter") is None
+
+    def test_unknown_trip_count_refuses_guard(self):
+        comp = comp_of(
+            "letrec* a = array (1,n) [ (p!i) := b!i | i <- [1..n] ] in a"
+        )
+        report = analyze_subscripts(comp)
+        assert plan_guard(comp, report, mode="scatter") is None

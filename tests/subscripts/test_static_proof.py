@@ -1,0 +1,127 @@
+"""Static subscript proofs through the whole-program compiler.
+
+When the index array's own comprehension is a sibling binding, its
+properties are proven at compile time and the scatter compiles to a
+plain unchecked schedule — no runtime verifier, no per-write checks.
+"""
+
+import pytest
+
+import repro
+from repro.codegen.support import VERIFY_STATS
+from repro.kernels import PROGRAM_SCATTER
+from repro.runtime.errors import WriteCollisionError
+
+
+def binding_report(program, name):
+    for info in program.report.bindings:
+        if info.name == name:
+            return info.report
+    raise AssertionError(f"no binding {name!r}")
+
+
+class TestProgramScatter:
+    def test_static_proof_elides_everything(self):
+        program = repro.compile_program(PROGRAM_SCATTER,
+                                        params={"n": 8})
+        report = binding_report(program, "a")
+        assert report.strategy == "thunkless"
+        sub = report.subscripts
+        assert sub.static_injective == frozenset({"p"})
+        prop = sub.properties["p"]
+        assert prop.total and prop.source == "static"
+        assert not report.checks.bounds_checks
+        assert not report.checks.collision_checks
+        assert not report.checks.empties_check
+        # The support import is unconditional; the *call* must be gone.
+        assert "_verify(" not in program.sources()["a"]
+
+    def test_runs_without_verifier(self):
+        n = 8
+        program = repro.compile_program(PROGRAM_SCATTER,
+                                        params={"n": n})
+        VERIFY_STATS.reset()
+        out = program({})
+        assert VERIFY_STATS.verifications == 0
+        # a!(p!i) := b!i with p!i = n+1-i and b!i = i*(i+1), so cell j
+        # holds b!(n+1-j).
+        expected = [(n + 1 - j) * (n + 2 - j) for j in range(1, n + 1)]
+        assert [out[i] for i in range(1, n + 1)] == expected
+
+    def test_matches_oracle(self):
+        n = 8
+        program = repro.compile_program(PROGRAM_SCATTER,
+                                        params={"n": n})
+        out = program({})
+        oracle = repro.run_program(PROGRAM_SCATTER, bindings={"n": n})
+        assert ([out[i] for i in range(1, n + 1)]
+                == [oracle[i] for i in range(1, n + 1)])
+
+    def test_program_notes_surface_the_proof(self):
+        program = repro.compile_program(PROGRAM_SCATTER,
+                                        params={"n": 8})
+        assert any("statically proven" in note
+                   for note in program.report.notes)
+
+    def test_explain_program_has_subscript_area(self):
+        compiled = repro.compile(PROGRAM_SCATTER, params={"n": 8},
+                                 explain=True)
+        subs = compiled.explanation.by_area("subscript")
+        assert any(d.verdict == "accepted" for d in subs)
+
+    def test_index_producer_pinned_to_python_backend(self):
+        # Under backend="c" the index array p must stay on the python
+        # tier: the C tier computes integer kernels in double, and a
+        # double cell cannot subscript the consumer's python-emitted
+        # scatter.  The demotion is a planning decision, so it holds
+        # (and is reasoned) with or without a toolchain.
+        from repro.codegen.emit import CodegenOptions
+
+        n = 8
+        program = repro.compile_program(
+            PROGRAM_SCATTER, params={"n": n},
+            options=CodegenOptions(backend="c"),
+        )
+        assert any(line.startswith("backend 'p'")
+                   and "stays on python" in line
+                   for line in program.report.fallbacks)
+        out = program({})
+        expected = [(n + 1 - j) * (n + 2 - j) for j in range(1, n + 1)]
+        assert [out[i] for i in range(1, n + 1)] == expected
+
+
+class TestMonotoneNotInjective:
+    def test_bounded_monotone_accum_needs_no_checks(self):
+        # The key array is statically bounded but *not* injective
+        # (constant): fine for accumulation, which needs bounds only.
+        prog = """
+k = array (1,10) [ i := 3 | i <- [1..10] ];
+h = accumArray (\\a b -> a + b) 0 (1,5) [ (k!i) := 1 | i <- [1..10] ];
+main = h
+"""
+        program = repro.compile_program(prog)
+        report = binding_report(program, "h")
+        assert report.subscripts.static_bounded == frozenset({"k"})
+        assert not report.checks.bounds_checks
+        VERIFY_STATS.reset()
+        out = program({})
+        assert VERIFY_STATS.verifications == 0
+        assert [out[i] for i in range(1, 6)] == [0, 0, 10, 0, 0]
+
+    def test_non_injective_scatter_refuses_the_guard(self):
+        # Statically *disproven* injectivity: a verifier would fail on
+        # every call, so no guard is planned — the scatter compiles
+        # with the ordinary check battery and the duplicate writes
+        # raise a collision at run time.
+        prog = """
+k = array (1,10) [ i := 3 | i <- [1..10] ];
+a = array (1,5) [ (k!i) := 1 | i <- [1..10] ];
+main = a
+"""
+        program = repro.compile_program(prog)
+        report = binding_report(program, "a")
+        assert report.strategy == "thunkless"
+        assert "k" not in report.subscripts.static_injective
+        assert report.checks.collision_checks
+        with pytest.raises(WriteCollisionError):
+            program({})
