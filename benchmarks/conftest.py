@@ -34,6 +34,44 @@ def pytest_sessionfinish(session, exitstatus):
 
 
 @pytest.fixture
+def peak_resident():
+    """Measure peak Python-heap growth over a block (tracemalloc).
+
+    Usage::
+
+        stats = {}
+        with peak_resident(stats):
+            run_the_workload()
+        stats["peak_bytes"]  # high-water allocation above the baseline
+
+    Complements the runtime gauge ``ooc.bytes.resident`` (which counts
+    only the streaming driver's own tile buffers): tracemalloc sees
+    every allocation the interpreter makes, so a streaming run whose
+    peak stays flat while the mesh grows really is out of core.
+    Numbers are heap growth relative to entry, not process RSS.
+    """
+    import tracemalloc
+    from contextlib import contextmanager
+
+    @contextmanager
+    def measure(stats):
+        already = tracemalloc.is_tracing()
+        if not already:
+            tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        try:
+            yield
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            stats["peak_bytes"] = max(0, peak - base)
+            if not already:
+                tracemalloc.stop()
+
+    return measure
+
+
+@pytest.fixture
 def mesh_factory():
     """Build a fresh deterministic m x m mesh FlatArray."""
 

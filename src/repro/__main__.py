@@ -225,6 +225,17 @@ def _serve_stats(cache_dir) -> int:
     return 0
 
 
+def _tile_flag(args):
+    """``--tile`` surface form -> CodegenOptions.tile spec."""
+    raw = getattr(args, "tile", None)
+    if raw is None or raw == "auto":
+        return raw
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit("--tile must be 'auto' or an integer >= 1")
+
+
 def _program_command(args, source: str, params) -> int:
     """``analyze``/``compile``/``run``/``oracle`` on a whole program."""
     from repro.program import ProgramError
@@ -253,6 +264,7 @@ def _program_command(args, source: str, params) -> int:
             parallel=args.parallel,
             parallel_threads=args.parallel_threads,
             backend=args.backend,
+            tile=_tile_flag(args),
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc
@@ -264,6 +276,7 @@ def _program_command(args, source: str, params) -> int:
             source, params=params, options=options,
             cache=_cache_dir(args.cache),
             dist=bool(dist_workers), workers=dist_workers,
+            ooc=bool(getattr(args, "ooc", False)),
         )
     except CompileError as exc:
         raise SystemExit(f"compile error: {exc}") from exc
@@ -307,6 +320,7 @@ def _explain_command(args, source: str, params) -> int:
             parallel_threads=args.parallel_threads,
             inplace=bool(args.inplace),
             backend=args.backend,
+            tile=_tile_flag(args),
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc
@@ -319,6 +333,7 @@ def _explain_command(args, source: str, params) -> int:
             strategy="inplace" if args.inplace else "auto",
             force_strategy=(None if args.strategy == "auto"
                             else args.strategy),
+            ooc=bool(getattr(args, "ooc", False)),
         )
     except CompileError as exc:
         raise SystemExit(f"compile error: {exc}") from exc
@@ -379,6 +394,16 @@ def main(argv=None) -> int:
     parser.add_argument("--iterate", metavar="KEY=VALUE",
                         help="override a program's iteration control: "
                              "tol=FLOAT or steps=INT (programs only)")
+    parser.add_argument("--tile", default=None, metavar="N|auto",
+                        help="cache-block the scheduled loops: an "
+                             "explicit edge length or 'auto' for the "
+                             "cache-model size (tiling-ineligible "
+                             "nests fall back with a reasoned note)")
+    parser.add_argument("--ooc", action="store_true",
+                        help="stream iterate/converge sweeps through "
+                             "memmap-backed row tiles (resident "
+                             "memory bounded by the tile; programs "
+                             "only)")
     parser.add_argument("--dist-workers", type=int, default=0,
                         metavar="N",
                         help="block-partition a program's iterate/"
@@ -485,6 +510,11 @@ def main(argv=None) -> int:
             "--dist-workers only applies to multi-binding programs "
             "(this source is a single definition)"
         )
+    if getattr(args, "ooc", False):
+        raise SystemExit(
+            "--ooc only applies to multi-binding programs (this "
+            "source is a single definition)"
+        )
 
     if args.command == "analyze":
         try:
@@ -507,6 +537,7 @@ def main(argv=None) -> int:
             parallel_threads=args.parallel_threads,
             inplace=bool(args.inplace),
             backend=args.backend,
+            tile=_tile_flag(args),
         )
     except CodegenError as exc:
         raise SystemExit(str(exc)) from exc

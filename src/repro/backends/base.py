@@ -74,6 +74,12 @@ class LoweringJob:
     #: backend whose result buffers cannot represent *undefined* cells
     #: (the C tier zero-fills) must refuse partial comprehensions.
     empties_needed: bool = False
+    #: An accepted :class:`~repro.core.tiling.TilePlan` when the
+    #: pipeline decided to cache-block this nest (``thunkless`` and
+    #: ``inplace`` modes only); ``None`` or a rejected plan means emit
+    #: the ordinary loops.  Both the python emitter and the C backend
+    #: honour it.
+    tiling: object = None
 
     def indirect_guard_dims(self) -> Optional[Dict]:
         """The indirect-dimension map for checked emission, if any.

@@ -31,12 +31,14 @@ class PythonBackend(Backend):
                 edges=job.edges, parallel_plan=job.parallel_plan,
                 parallel_log=job.parallel_log,
                 indirect_guard_dims=job.indirect_guard_dims(),
+                tiling=job.tiling,
             )
         if job.mode == "thunked":
             return emit_thunked(job.comp, job.options, job.params)
         if job.mode == "inplace":
             return emit_inplace(
-                job.comp, job.schedule, job.plan, job.options, job.params
+                job.comp, job.schedule, job.plan, job.options, job.params,
+                tiling=job.tiling,
             )
         if job.mode == "accum":
             return emit_accum(

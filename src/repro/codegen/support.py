@@ -392,6 +392,22 @@ def as_index(value, array: str = "") -> int:
     return value
 
 
+def read_gather(bounds: Bounds, cells, subscript):
+    """Checked element read for an opaque gather subscript.
+
+    The loud-error contract extended to reads: when a subscript is
+    itself array data (``b!(p!i)``), nothing at compile time bounds
+    it, and the unchecked ``cells[linear]`` read would leak a raw
+    ``IndexError`` — or silently *wrap* a negative index to the wrong
+    cell.  This mirrors the oracle's read exactly
+    (``cells[bounds.index(subscript)]``), so out-of-range subscripts
+    raise the same :class:`BoundsError`, and the accepted corner cases
+    (``True`` indexes like ``1``) keep their oracle values.
+    """
+    count_runtime("gather.reads.checked")
+    return cells[bounds.index(subscript)]
+
+
 def check_bounds(linear: int, size: int, subscript) -> None:
     """Runtime bounds check (counted)."""
     CHECK_STATS.bounds_checks += 1

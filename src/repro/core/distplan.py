@@ -386,30 +386,14 @@ def _shift_region(region, offsets):
 # The planner proper.
 
 
-def plan_distribution(
-    name: str,
-    report,
-    mode: str,
-    param: str,
-    params: Optional[Dict] = None,
-    workers: int = 0,
-) -> DistBindingPlan:
-    """Build a :class:`DistBindingPlan` for one iterate binding.
+def _common_checks(report, params):
+    """Structural checks shared by every block/tile partitioning.
 
-    ``report`` is the step function's single-definition
-    :class:`~repro.core.pipeline.Report`; ``mode`` the driver mode the
-    program compiler picked (``'double'``/``'inplace'``).  Raises
-    :class:`DistReject` with the reason when the binding must stay
-    single-process.
+    Raises :class:`DistReject` unless the step has static bounds, a
+    complete static schedule, affine unit-stride writes and provably
+    float values.  Returns ``(low, high, rank, order, clause_pos,
+    directions)``.
     """
-    if _np is None:
-        raise DistReject("numpy is unavailable — shared float64 "
-                         "buffers need it")
-    if workers < 2:
-        raise DistReject(
-            f"workers={workers} — a single block is the single-process "
-            "path; distribution skipped"
-        )
     comp = report.comp
     if comp is None or comp.bounds is None:
         raise DistReject("array bounds are not static")
@@ -443,6 +427,35 @@ def plan_distribution(
                     f"{clause.label}: loop {loop.var!r} strides by "
                     f"{loop.step}"
                 )
+    return low, high, rank, order, clause_pos, directions
+
+
+def plan_distribution(
+    name: str,
+    report,
+    mode: str,
+    param: str,
+    params: Optional[Dict] = None,
+    workers: int = 0,
+) -> DistBindingPlan:
+    """Build a :class:`DistBindingPlan` for one iterate binding.
+
+    ``report`` is the step function's single-definition
+    :class:`~repro.core.pipeline.Report`; ``mode`` the driver mode the
+    program compiler picked (``'double'``/``'inplace'``).  Raises
+    :class:`DistReject` with the reason when the binding must stay
+    single-process.
+    """
+    if _np is None:
+        raise DistReject("numpy is unavailable — shared float64 "
+                         "buffers need it")
+    if workers < 2:
+        raise DistReject(
+            f"workers={workers} — a single block is the single-process "
+            "path; distribution skipped"
+        )
+    low, high, rank, order, clause_pos, directions = \
+        _common_checks(report, params)
 
     if mode == "double":
         return _plan_double(name, report, param, params, workers,
@@ -554,6 +567,146 @@ def _plan_double(name, report, param, params, workers, low, high,
     from repro.dist.kernel import build_double_kernel
 
     plan.kernel = build_double_kernel(report, params)
+    return plan
+
+
+#: Default resident-byte target for out-of-core tiles: the two RAM
+#: buffers (halo window + destination tile) together aim under 16 MiB.
+OOC_TARGET_BYTES = 1 << 24
+
+
+def _ooc_tile_rows(tile, tail: int, halo: int) -> int:
+    """Rows per streamed tile: explicit ``tile=`` int, else budgeted."""
+    if isinstance(tile, int) and not isinstance(tile, bool) and tile >= 1:
+        return tile
+    per_row = 16 * max(1, tail)  # window row + dst row, 8 bytes each
+    return max(1, OOC_TARGET_BYTES // per_row - halo)
+
+
+def plan_outofcore(
+    name: str,
+    report,
+    mode: str,
+    param: str,
+    params: Optional[Dict] = None,
+    tile=None,
+) -> DistBindingPlan:
+    """Row-tile streaming plan for one iterate binding.
+
+    Out-of-core execution (:mod:`repro.program.outofcore`) streams
+    ``numpy.memmap``-backed row tiles through RAM window buffers, so a
+    sweep's resident set is bounded by the tile, not the array.  The
+    legality argument is the double-buffer one (see the module
+    docstring) with one tightening: a read must fall inside its tile's
+    halo window, because *only that window is resident*.  Broadcast
+    reads (non-constant row offset, e.g. a fixed boundary row read
+    from every tile) therefore reject here even though the shared-
+    memory planner serves them from the complete buffer.
+
+    ``tile`` is the ``CodegenOptions.tile`` spec: an explicit int is
+    rows per tile (the cache-blocking tile is the partition unit);
+    ``None``/``"auto"`` budgets rows so the two resident buffers stay
+    under :data:`OOC_TARGET_BYTES`.  Raises :class:`DistReject` with
+    the reason when the binding must run in-memory.
+    """
+    if _np is None:
+        raise DistReject("numpy is unavailable — memmap tile "
+                         "streaming needs it")
+    if mode != "double":
+        raise DistReject(
+            f"out-of-core streaming needs double-buffer sweeps — the "
+            f"{mode!r} sweep mutates one buffer whose tiles cannot "
+            "stream independently"
+        )
+    low, high, rank, order, clause_pos, directions = \
+        _common_checks(report, params)
+    comp = report.comp
+    if report.strategy != "thunkless":
+        raise DistReject(
+            f"step strategy is {report.strategy!r} — tile kernels "
+            "re-emit the thunkless schedule"
+        )
+    if report.empties.checks_needed:
+        raise DistReject(
+            "step is not provably total — unwritten cells would leak "
+            "the sweep-before-last file"
+        )
+    for clause in comp.clauses:
+        for read in clause.reads:
+            if comp.name and read.array == comp.name:
+                raise DistReject(
+                    f"{clause.label}: reads the step's own output "
+                    f"{comp.name!r} — not a pure previous-sweep step"
+                )
+
+    clamp_demand: Dict[int, Tuple[object, int]] = {}
+    offsets = []
+    for clause in comp.clauses:
+        write = _axis_write(clause, 0, params)
+        if write.const is None:
+            loop = _clause_loop(clause, write.var)
+            previous = clamp_demand.get(id(loop))
+            if previous is not None and previous[1] != write.offset:
+                raise DistReject(
+                    f"{clause.label}: loop {loop.var!r} is shared by "
+                    "clauses writing different axis-0 offsets "
+                    f"({previous[1]} vs {write.offset})"
+                )
+            clamp_demand[id(loop)] = (loop, write.offset)
+        write_cols = [_axis_write(clause, a, params)
+                      for a in range(rank)]
+        for read in clause.reads:
+            if read.array != param:
+                continue
+            off = _read_offset(clause, read.node, write_cols, params,
+                               param, rank)
+            if off is None:
+                raise DistReject(
+                    f"{clause.label}: broadcast read of {param!r} "
+                    "(non-constant row offset) — only the tile's halo "
+                    "window is resident, and a read outside it would "
+                    "wrap through the shifted window bounds"
+                )
+            offsets.append(off)
+
+    halo_lo = max((-off[0] for off in offsets if off[0] < 0), default=0)
+    halo_hi = max((off[0] for off in offsets if off[0] > 0), default=0)
+    kind = "stencil" if (halo_lo or halo_hi) else "dep-free"
+
+    tail = 1
+    for axis in range(1, rank):
+        tail *= high[axis] - low[axis] + 1
+    rows = high[0] - low[0] + 1
+    tile_rows = _ooc_tile_rows(tile, tail, halo_lo + halo_hi)
+    n_tiles = max(1, -(-rows // tile_rows))
+    row_blocks = tuple(
+        (low[0] + k * tile_rows,
+         min(high[0], low[0] + (k + 1) * tile_rows - 1))
+        for k in range(n_tiles)
+    )
+    halo_cells = (n_tiles - 1) * (halo_lo + halo_hi) * tail
+
+    plan = DistBindingPlan(
+        name=name, kind=kind, mode="double", workers=1,
+        rank=rank, low=low, high=high, param=param,
+        row_blocks=row_blocks, halo_lo=halo_lo, halo_hi=halo_hi,
+        halo_cells_per_sweep=halo_cells,
+    )
+    window_bytes = (tile_rows + halo_lo + halo_hi) * tail * 8
+    plan.notes.append(
+        f"{name}: out-of-core {kind} — {rows} row(s) stream as "
+        f"{n_tiles} tile(s) of <= {tile_rows} row(s); resident window "
+        f"~{window_bytes} byte(s)"
+    )
+    if kind == "stencil":
+        plan.notes.append(
+            f"{name}: halo widths -{halo_lo}/+{halo_hi} row(s); "
+            f"{halo_cells} halo cell(s) re-read from the previous-"
+            "sweep file per sweep"
+        )
+    from repro.dist.kernel import build_ooc_kernel
+
+    plan.kernel = build_ooc_kernel(report, params)
     return plan
 
 

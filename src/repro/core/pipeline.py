@@ -94,6 +94,10 @@ class Report:
     #: (:class:`~repro.core.subscripts_indirect.SubscriptReport`);
     #: ``None`` until :func:`analyze` runs.
     subscripts: Optional[object] = None
+    #: Cache-blocking decision (:class:`~repro.core.tiling.TilePlan`):
+    #: an accepted plan or a reasoned ``ok=False`` rejection.  ``None``
+    #: when tiling was never requested for this definition.
+    tiling: Optional[object] = None
     notes: List[str] = field(default_factory=list)
     #: Wall-clock seconds per pipeline pass (parse, build, dependence,
     #: schedule, codegen, ...) — consumed by the compile service's
@@ -142,6 +146,8 @@ class Report:
             lines.append(f"backend: {decision}")
         if self.subscripts is not None and self.subscripts.has_indirect:
             lines.extend(self.subscripts.summary_lines())
+        if self.tiling is not None:
+            lines.append(f"tile: {self.tiling.summary()}")
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
@@ -469,6 +475,22 @@ def _compile_array_traced(
 
     from repro.codegen.exprs import CodegenError
 
+    tiling = None
+    if options.tile is not None:
+        from repro.core.tiling import plan_tiling
+
+        with span("tiling"):
+            tiling = plan_tiling(
+                report.schedule, report.edges, mode=strategy,
+                tile=options.tile, options=options,
+            )
+        report.tiling = tiling
+        if tiling.ok:
+            report.notes.append(f"tiled: {tiling.summary()}")
+        else:
+            report.notes.append(f"tile fallback: {tiling.note}")
+            tiling = None
+
     parallel_plan = None
     if options.parallel:
         if strategy in ("thunkless", "guarded"):
@@ -521,6 +543,7 @@ def _compile_array_traced(
                     parallel_log=report.parallel,
                     empties_needed=report.empties.checks_needed,
                     subscripts=job_guard,
+                    tiling=tiling,
                 ), report)
                 if options.vectorize:
                     report.notes.append(
@@ -668,6 +691,16 @@ def _compile_accum_traced(
         report = _base_report(comp, collision, empties, edges, schedule)
     report.strategy = "accumulate"
     report.subscripts = sub
+
+    if options is not None and options.tile is not None:
+        from repro.core.tiling import TilePlan
+
+        report.tiling = TilePlan(
+            ok=False,
+            note="accumulated arrays fold colliding stores in source "
+                 "order; tiling would re-associate the float combine",
+        )
+        report.notes.append(f"tile fallback: {report.tiling.note}")
 
     # Indirect accumulation (histograms): duplicates are semantics, so
     # only bounds and int-ness of the index array are at stake.  A
@@ -846,12 +879,33 @@ def _compile_inplace_traced(
     report.checks = options or CodegenOptions()
     from repro.codegen.exprs import CodegenError
 
+    tiling = None
+    if report.checks.tile is not None:
+        from repro.core.tiling import plan_tiling
+
+        # Whole-copy updates read every old value from the frozen
+        # copy, so the anti edges the copy satisfies do not constrain
+        # the tile order; only flow (self-name) edges remain live.
+        live_edges = flow if plan.mode == "whole_copy" else edges
+        with span("tiling"):
+            tiling = plan_tiling(
+                schedule, live_edges, mode="inplace",
+                tile=report.checks.tile, inplace_plan=plan,
+                options=report.checks,
+            )
+        report.tiling = tiling
+        if tiling.ok:
+            report.notes.append(f"tiled: {tiling.summary()}")
+        else:
+            report.notes.append(f"tile fallback: {tiling.note}")
+            tiling = None
+
     try:
         with span("codegen"):
             source = lower(LoweringJob(
                 mode="inplace", comp=comp, options=report.checks,
                 schedule=schedule, params=params, plan=plan,
-                old_array=plan.old_array,
+                old_array=plan.old_array, tiling=tiling,
             ), report)
     except CodegenError as exc:
         raise CompileError(f"cannot generate code: {exc}") from exc
@@ -901,6 +955,7 @@ def compile(
     explain: bool = False,
     dist: bool = False,
     workers: int = 0,
+    ooc: bool = False,
     index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     """Compile an array definition — the single public entry point.
@@ -941,6 +996,11 @@ def compile(
         (see :func:`repro.program.compile.compile_program`).  A
         single definition has no convergence loop to distribute, so
         ``dist=True`` on one is a :class:`CompileError`.
+    ooc:
+        Program sources only: stream iterate/converge sweeps through
+        memmap-backed row tiles (:mod:`repro.program.outofcore`),
+        bounding resident memory by the tile (``options.tile``).
+        Like ``dist``, a :class:`CompileError` on single definitions.
     index_comps:
         Loop IR of previously compiled definitions, keyed by binding
         name (see :mod:`repro.core.subscripts_indirect`): when an
@@ -954,7 +1014,7 @@ def compile(
         compiled = _compile_dispatch(
             src, strategy=strategy, params=params, options=options,
             old_array=old_array, force_strategy=force_strategy,
-            cache=cache, dist=dist, workers=workers,
+            cache=cache, dist=dist, workers=workers, ooc=ooc,
             index_comps=index_comps,
         )
     if explain:
@@ -975,6 +1035,7 @@ def _compile_dispatch(
     cache,
     dist: bool = False,
     workers: int = 0,
+    ooc: bool = False,
     index_comps: Optional[Dict[str, ArrayComp]] = None,
 ) -> CompiledComp:
     if strategy not in STRATEGIES:
@@ -993,7 +1054,8 @@ def _compile_dispatch(
 
                 return compile_program(src, params=params,
                                        options=options, cache=cache,
-                                       dist=dist, workers=workers)
+                                       dist=dist, workers=workers,
+                                       ooc=ooc)
             raise CompileError(
                 "source is a multi-binding program (bindings "
                 + ", ".join(repr(b.name) for b in program)
@@ -1005,6 +1067,12 @@ def _compile_dispatch(
         raise CompileError(
             "dist= distributes a program's iterate/converge sweeps; "
             "a single definition has no convergence loop — use "
+            "repro.compile_program on a multi-binding program"
+        )
+    if ooc:
+        raise CompileError(
+            "ooc= streams a program's iterate/converge sweeps out of "
+            "core; a single definition has no convergence loop — use "
             "repro.compile_program on a multi-binding program"
         )
     resolved = strategy

@@ -156,6 +156,43 @@ def build_double_kernel(report, params,
     )
 
 
+def build_ooc_kernel(report, params) -> DistKernel:
+    """Row-tile kernel for the out-of-core streaming driver.
+
+    Same clamping as :func:`build_double_kernel` (axis 0 windows pick
+    the row tile) but emitted **scalar**: the driver hands ``.dst`` a
+    base-offset window shim over a tile-sized buffer, which supports
+    plain integer stores only — the §10 vector path's slice
+    assignments cannot be offset-translated through it.  Reads resolve
+    through a :class:`~repro.codegen.support.FlatArray` whose bounds
+    are shifted to the streamed halo window, so the kernel's absolute
+    row arithmetic lands inside the resident buffer unchanged.
+    """
+    comp, schedule, edges = pickle.loads(
+        pickle.dumps((report.comp, report.schedule, report.edges))
+    )
+    clamps, guard_axes = _clamp_axes(comp, (0,), params)
+    source = emit_thunkless(
+        comp, schedule, CodegenOptions(), params, edges=edges,
+    )
+    source = _edit(
+        source,
+        "    _out = _env.pop('.reuse', None)\n"
+        "    if _out is None or len(_out) != _size:\n"
+        "        _alloc(_size)\n"
+        "        _out = [None] * _size\n",
+        "    _out = _env.pop('.dst')\n",
+    )
+    source = _edit(source, "return FlatArray(_b, _out)", "return None")
+    return DistKernel(
+        source=source,
+        clamps=clamps,
+        guard_axes=guard_axes,
+        env_names=_env_names(source, _internal_names(clamps,
+                                                     guard_axes)),
+    )
+
+
 def build_wavefront_kernel(report, params) -> DistKernel:
     """Rectangle kernel for a staged in-place (clean-split) sweep.
 

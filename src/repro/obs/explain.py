@@ -25,8 +25,8 @@ from typing import Dict, List, Optional
 
 #: Decision areas, in render order.
 AREAS = ("compile", "strategy", "schedule", "checks", "subscript",
-         "inplace", "vectorize", "parallel", "backend", "fuse", "reuse",
-         "iterate", "dist", "note")
+         "inplace", "vectorize", "parallel", "backend", "tile", "fuse",
+         "reuse", "iterate", "dist", "note")
 
 ACCEPTED = "accepted"
 REJECTED = "rejected"
@@ -217,6 +217,24 @@ def _explain_backend(out: Explanation, report, prefix: str) -> None:
         out.add("backend", prefix + "dispatch", INFO, line)
 
 
+def _explain_tiling(out: Explanation, report, prefix: str) -> None:
+    tiling = getattr(report, "tiling", None)
+    if tiling is None:
+        return
+    if tiling.ok:
+        sizes = " x ".join(
+            f"{var}:{size}"
+            for var, size in zip(tiling.loop_vars, tiling.sizes)
+        )
+        out.add("tile", prefix + "cache blocking", ACCEPTED,
+                f"{tiling.kind} tiles [{sizes}] ({tiling.source}), "
+                f"halo {tiling.halo} — direction vectors permit "
+                "lexicographic tile order")
+    else:
+        out.add("tile", prefix + "cache blocking", FALLBACK,
+                f"untiled loops emitted: {tiling.note}")
+
+
 def explain_definition_report(report, prefix: str = "",
                               out: Optional[Explanation] = None
                               ) -> Explanation:
@@ -247,6 +265,7 @@ def explain_definition_report(report, prefix: str = "",
     _explain_vectorize(out, report, prefix)
     _explain_parallel(out, report, prefix)
     _explain_backend(out, report, prefix)
+    _explain_tiling(out, report, prefix)
     for note in report.notes:
         out.add("note", prefix.rstrip(": ") or "pipeline", INFO, note)
     return out
@@ -263,6 +282,8 @@ def _fallback_area(text: str) -> str:
         return "inplace"
     if text.startswith("dist"):
         return "dist"
+    if text.startswith(("tile", "ooc")):
+        return "tile"
     if text.startswith("subscript"):
         return "subscript"
     return "reuse"
@@ -288,7 +309,10 @@ def explain_program_report(report) -> Explanation:
         verdict = ACCEPTED if "in-place sweeps" in entry else INFO
         out.add("iterate", "driver", verdict, entry)
     for entry in getattr(report, "dist", ()) or ():
-        out.add("dist", "planner", ACCEPTED, entry)
+        # Out-of-core notes ride the same plan list but render under
+        # the tile area (the tile is the partition unit).
+        area = "tile" if "out-of-core" in entry else "dist"
+        out.add(area, "planner", ACCEPTED, entry)
     for note in report.notes:
         out.add("note", "program", INFO, note)
     for info in report.bindings:
@@ -314,7 +338,8 @@ def explain_report(report, prefix: str = "") -> Explanation:
 
 
 def explain(src, *, params=None, options=None, old_array=None,
-            strategy: str = "auto", force_strategy=None) -> Explanation:
+            strategy: str = "auto", force_strategy=None,
+            ooc: bool = False) -> Explanation:
     """Compile ``src`` and return its decision trace.
 
     A static rejection (certain write collision, unschedulable
@@ -329,7 +354,8 @@ def explain(src, *, params=None, options=None, old_array=None,
     if isinstance(src, str) and as_program(src) is not None:
         from repro.program.compile import compile_program
 
-        program = compile_program(src, params=params, options=options)
+        program = compile_program(src, params=params, options=options,
+                                  ooc=ooc)
         return explain_program_report(program.report)
 
     try:

@@ -90,6 +90,7 @@ def compile_program(
     fuse: bool = True,
     dist: bool = False,
     workers: int = 0,
+    ooc: bool = False,
 ) -> CompiledProgram:
     """Compile a whole program (string or parsed binding list).
 
@@ -121,6 +122,14 @@ def compile_program(
         run single-process with the reason in
         ``ProgramReport.fallbacks`` (``dist`` prefix) and the plans in
         ``ProgramReport.dist``.
+    ooc:
+        Out-of-core streaming (:mod:`repro.program.outofcore`): plan
+        every ``iterate``/``converge`` binding to sweep
+        ``numpy.memmap``-backed row tiles with double-buffered halo
+        windows, bounding resident memory by the tile
+        (``options.tile`` sets the rows per tile) instead of the
+        array.  Rejected bindings run the in-memory sweeps with the
+        reason in ``ProgramReport.fallbacks`` (``ooc`` prefix).
     """
     if dist and workers <= 0:
         import os
@@ -134,19 +143,20 @@ def compile_program(
 
         return resolve_cache(cache).submit(CompileRequest(
             src, params, options, kind="program", result=result,
-            fuse=fuse, dist=dist, workers=workers,
+            fuse=fuse, dist=dist, workers=workers, ooc=ooc,
         )).value()
 
     with trace_scope("compile-program") as scope, dependence_memo():
         program = _compile_program_traced(src, params, options, result,
-                                          fuse, dist, workers)
+                                          fuse, dist, workers, ooc)
     program.report.trace = scope
     program.report.timings = span_timings(scope)
     return program
 
 
 def _compile_program_traced(src, params, options, result, fuse=True,
-                            dist=False, workers=0) -> CompiledProgram:
+                            dist=False, workers=0,
+                            ooc=False) -> CompiledProgram:
     with span("parse"):
         binds = parse_program(src) if isinstance(src, str) else list(src)
     if not binds:
@@ -228,7 +238,7 @@ def _compile_program_traced(src, params, options, result, fuse=True,
     state = _CompileState(
         by_name=by_name, kinds=kinds, extras=extras, graph=graph,
         last=last, protected=protected, params=params, options=options,
-        report=report, dist=dist, workers=workers,
+        report=report, dist=dist, workers=workers, ooc=ooc,
         index_users=_index_array_names(binds),
     )
     steps = []
@@ -505,7 +515,7 @@ class _CompileState:
 
     def __init__(self, *, by_name, kinds, extras, graph, last, protected,
                  params, options, report: ProgramReport, dist=False,
-                 workers=0, index_users=frozenset()):
+                 workers=0, ooc=False, index_users=frozenset()):
         self.by_name = by_name
         self.kinds = kinds
         self.extras = extras
@@ -517,6 +527,7 @@ class _CompileState:
         self.report = report
         self.dist = dist
         self.workers = workers
+        self.ooc = ooc
         #: Program-allocated arrays eligible as storage donors, with
         #: their static bounds (``None`` bounds disqualifies matching).
         self.produced: Dict[str, object] = {}
@@ -537,6 +548,13 @@ class _CompileState:
     def _info(self, **kwargs) -> BindingInfo:
         info = BindingInfo(**kwargs)
         self.report.bindings.append(info)
+        tiling = getattr(info.report, "tiling", None)
+        if tiling is not None and not tiling.ok:
+            # Tiling was requested but this binding's nest rejected
+            # it; surface the reason at program level too.
+            self.report.fallbacks.append(
+                f"tile {info.name!r}: {tiling.note}"
+            )
         return info
 
     def _dead_after(self, producer: str, consumer: str) -> bool:
@@ -573,6 +591,15 @@ class _CompileState:
                        "only iterate/converge sweeps repeat enough to "
                        "amortize block dispatch")
             self.report.fallbacks.append(f"dist {name!r}: {why}")
+        if self.ooc and kind != "iterate":
+            if kind in ("scalar", "function", "alias"):
+                why = (f"{kind} binding evaluates once — nothing to "
+                       "stream")
+            else:
+                why = ("one-shot binding executes once; only iterate/"
+                       "converge sweeps repeat enough to amortize "
+                       "tile streaming")
+            self.report.fallbacks.append(f"ooc {name!r}: {why}")
         if kind == "scalar":
             self._info(name=name, kind="scalar",
                        detail="evaluated by the reference interpreter")
@@ -832,6 +859,8 @@ class _CompileState:
         )
         if self.dist:
             self._plan_dist(name, plan, compiled, mode, param)
+        if self.ooc:
+            self._plan_ooc(name, plan, compiled, mode, param)
         return ProgramStep(name=name, kind="iterate", iterate=plan)
 
     def _plan_dist(self, name, plan: IteratePlan, compiled, mode,
@@ -865,6 +894,40 @@ class _CompileState:
         plan.dist = dist_plan
         self.report.dist.extend(dist_plan.notes)
         count("program.dist.bindings")
+
+    def _plan_ooc(self, name, plan: IteratePlan, compiled, mode,
+                  param) -> None:
+        """Attach an out-of-core streaming plan, or record why not.
+
+        Same shape as :meth:`_plan_dist`: rejection is compile-time
+        information — the reason lands in ``report.fallbacks`` (``ooc``
+        prefix, surfacing in the ``tile`` explain area) and the binding
+        runs the ordinary in-memory sweeps.
+        """
+        from repro.codegen.emit import CodegenError
+        from repro.core.distplan import DistReject, plan_outofcore
+
+        tile = getattr(self.options, "tile", None)
+        try:
+            ooc_plan = plan_outofcore(
+                name, compiled.report, mode, param,
+                params=self.params, tile=tile,
+            )
+            for env_name in ooc_plan.kernel.env_names:
+                if env_name != param and (
+                    self.kinds.get(env_name) == "function"
+                ):
+                    raise DistReject(
+                        f"step calls program function {env_name!r} — "
+                        "only scalars and arrays ride the streamed "
+                        "tile environment"
+                    )
+        except (DistReject, CodegenError) as exc:
+            self.report.fallbacks.append(f"ooc {name!r}: {exc}")
+            return
+        plan.ooc = ooc_plan
+        self.report.dist.extend(ooc_plan.notes)
+        count("program.ooc.bindings")
 
     def _pick_iterate_mode(self, body, param):
         """In-place sweeps when §9 proves them free; else double-buffer.

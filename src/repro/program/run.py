@@ -77,6 +77,11 @@ class IteratePlan:
     #: .DistBindingPlan`) when the binding compiled with ``dist=``;
     #: ``None`` runs the single-process sweep paths below.
     dist: Optional[object] = None
+    #: Out-of-core streaming plan (also a :class:`~repro.core.distplan
+    #: .DistBindingPlan`; the tile is the block-partition unit) when
+    #: the binding compiled with ``ooc=``.  Takes precedence over
+    #: ``dist`` — streaming was asked for explicitly.
+    ooc: Optional[object] = None
 
 
 @dataclass
@@ -262,6 +267,17 @@ def _run_iterate(plan: IteratePlan, env: Dict, interp, genv,
     # buffer is ours regardless of liveness.
     owned = plan.seed_dead or not isinstance(seed_value, FlatArray)
     current = FlatArray(bounds, cells)
+
+    if plan.ooc is not None:
+        from repro.program.outofcore import run_ooc_iterate
+
+        streamed = run_ooc_iterate(plan, plan.ooc, env, kind, control,
+                                   current, owned)
+        if streamed is not None:
+            return streamed
+        # Runtime precondition failed (counted as
+        # ooc.fallback.runtime): fall through — the seed was never
+        # mutated.
 
     if plan.dist is not None:
         from repro.dist.run import run_dist_iterate

@@ -42,7 +42,7 @@ WIRE_SCHEMA = "repro-serve/1"
 _REQUEST_FIELDS = (
     "src", "params", "options", "force_strategy", "strategy",
     "old_array", "kind", "result", "fuse", "warm_only",
-    "dist", "workers",
+    "dist", "workers", "ooc",
 )
 
 _KINDS = ("auto", "definition", "program")
@@ -85,6 +85,10 @@ class CompileRequest:
     dist: bool = False
     #: Block count for ``dist`` (0 = caller resolves to cpu count).
     workers: int = 0
+    #: Program requests only: plan out-of-core streaming sweeps
+    #: (:mod:`repro.program.outofcore`; ``options.tile`` sets the rows
+    #: per streamed tile).
+    ooc: bool = False
 
     def to_wire(self) -> Dict:
         """The JSON-able wire form (requires string source/options)."""
@@ -114,6 +118,8 @@ class CompileRequest:
             out["dist"] = True
         if self.workers:
             out["workers"] = self.workers
+        if self.ooc:
+            out["ooc"] = True
         return out
 
     @classmethod
@@ -157,6 +163,7 @@ class CompileRequest:
             warm_only=bool(payload.get("warm_only", False)),
             dist=bool(payload.get("dist", False)),
             workers=workers,
+            ooc=bool(payload.get("ooc", False)),
         )
 
 

@@ -56,7 +56,11 @@ from repro.lang.parser import parse_expr
 #:     guarded dual-schedule kernels or statically proven unchecked
 #:     scatters; Report grew a ``subscripts`` field and generated
 #:     sources a runtime-verifier preamble).
-PIPELINE_SALT = "repro-pipeline/7"
+#: /8: cache-blocked tiling + out-of-core streaming (CodegenOptions
+#:     grew a ``tile`` field that changes emitted loop nests, Report
+#:     grew a ``tiling`` plan, IteratePlan an ``ooc`` plan, and
+#:     generated sources a tile-counter hook).
+PIPELINE_SALT = "repro-pipeline/8"
 
 
 # ----------------------------------------------------------------------
@@ -340,6 +344,7 @@ def fingerprint_program(
     salt: str = PIPELINE_SALT,
     dist: bool = False,
     workers: int = 0,
+    ooc: bool = False,
 ) -> str:
     """SHA-256 cache key for one whole-program compilation request.
 
@@ -351,7 +356,8 @@ def fingerprint_program(
     The requested ``result`` is resolved to its positional id for the
     same reason.  ``dist``/``workers`` key the distribution plan: the
     block windows (and therefore IteratePlan.dist) depend on the
-    worker count.
+    worker count.  ``ooc`` keys the out-of-core streaming plan the
+    same way (tile windows ride IteratePlan.ooc).
     """
     from repro.lang.parser import parse_program
 
@@ -372,6 +378,7 @@ def fingerprint_program(
         "mode=program",
         f"fuse={bool(fuse)}",
         f"dist={bool(dist)}:{int(workers) if dist else 0}",
+        f"ooc={bool(ooc)}",
         f"result={env.get(result, result)}",
         f"options={_options_key(options)}",
         f"params={sorted((params or {}).items())!r}",

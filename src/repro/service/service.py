@@ -162,7 +162,7 @@ class CompileService:
 
     def fingerprint_program(self, src, params=None, options=None,
                             result=None, fuse=True, dist=False,
-                            workers=0) -> str:
+                            workers=0, ooc=False) -> str:
         """The cache key this service would use for a whole program."""
         from repro.service.fingerprint import fingerprint_program
 
@@ -172,7 +172,7 @@ class CompileService:
                 "program", src,
                 repr(sorted((params or {}).items())),
                 _options_key(options), result, bool(fuse),
-                bool(dist), int(workers),
+                bool(dist), int(workers), bool(ooc),
             )
             cached = self._fp_memo.get(memo_key)
             if cached is not None:
@@ -180,6 +180,7 @@ class CompileService:
         key = fingerprint_program(
             src, params=params, options=options, result=result,
             fuse=fuse, salt=self.salt, dist=dist, workers=workers,
+            ooc=ooc,
         )
         self._memoize_fp(memo_key, key)
         return key
@@ -198,7 +199,7 @@ class CompileService:
             return self.fingerprint_program(
                 request.src, request.params, request.options,
                 request.result, request.fuse, request.dist,
-                request.workers,
+                request.workers, request.ooc,
             )
         return self.fingerprint(
             request.src, request.params, request.options,
@@ -282,7 +283,7 @@ class CompileService:
                     request.src, params=request.params,
                     options=request.options, result=request.result,
                     fuse=request.fuse, dist=request.dist,
-                    workers=request.workers,
+                    workers=request.workers, ooc=request.ooc,
                 )
         else:
             def build():

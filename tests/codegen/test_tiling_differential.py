@@ -1,0 +1,176 @@
+"""Differential tests: cache-blocked (tiled) kernels vs the oracle.
+
+Tiling reorders the iteration space into blocks; §5 direction vectors
+say when that reordering preserves every dependence.  These tests pin
+the other half of the contract: whenever ``plan_tiling`` accepts a
+nest, the blocked loops are *bit-identical* to the untiled kernel and
+to the lazy oracle — including tile sizes that do not divide the
+extent, degenerate 1x1 tiles, and tiles larger than the array.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.codegen.emit import CodegenOptions
+from repro.codegen.support import FlatArray
+from repro.kernels import PROGRAM_SOR, PROGRAM_STENCIL_CHAIN
+from repro.runtime.bounds import Bounds
+
+#: Fused-style 1-D smoothing stencil with boundary clauses folded in.
+STENCIL = (
+    "array (1,m) [ i := if i == 1 then b!1 else "
+    "if i == m then b!m else (b!(i-1) + b!i + b!(i+1)) / 3.0 "
+    "| i <- [1..m] ]"
+)
+
+#: 2-D Gauss-Seidel-style recurrence: all-'<'/'=' directions, so the
+#: nest tiles in lexicographic tile order ("lex" kind).
+GAUSS_SEIDEL = (
+    "letrec* a = array ((1,1),(m,m)) [ (i,j) := "
+    "if i == 1 || j == 1 then 1.0 else "
+    "(a!(i-1,j) + a!(i,j-1)) / 2.0 "
+    "| i <- [1..m], j <- [1..m] ] in a"
+)
+
+
+def arr(vals, lo=1):
+    return FlatArray(Bounds(lo, lo + len(vals) - 1), list(vals))
+
+
+def input_for(m):
+    return arr([float((7 * k) % 11) - 3.0 for k in range(m)])
+
+
+def cells_1d(result, m):
+    return [result[i] for i in range(1, m + 1)]
+
+
+def cells_2d(result, m):
+    return [result[(i, j)]
+            for i in range(1, m + 1) for j in range(1, m + 1)]
+
+
+class TestTiledStencil:
+    @pytest.mark.parametrize("tile", [1, 3, 5, 100])
+    def test_bit_identical_all_tile_shapes(self, tile):
+        # 13 is prime: no tile size above divides it evenly, 1 is the
+        # degenerate tile, 100 swallows the whole array.
+        m = 13
+        b = input_for(m)
+        tiled = repro.compile(STENCIL, params={"m": m},
+                              options=CodegenOptions(tile=tile))
+        assert tiled.report.tiling is not None
+        assert tiled.report.tiling.ok
+        assert tiled.report.tiling.kind == "rect"
+        plain = repro.compile(STENCIL, params={"m": m})
+        oracle = repro.evaluate(STENCIL, {"m": m, "b": b})
+        got = cells_1d(tiled({"b": b}), m)
+        assert got == cells_1d(plain({"b": b}), m)
+        assert got == cells_1d(oracle, m)
+
+    def test_auto_tile_matches_untiled(self):
+        m = 17
+        b = input_for(m)
+        tiled = repro.compile(STENCIL, params={"m": m},
+                              options=CodegenOptions(tile="auto"))
+        assert tiled.report.tiling.ok
+        assert tiled.report.tiling.source == "auto"
+        plain = repro.compile(STENCIL, params={"m": m})
+        assert cells_1d(tiled({"b": b}), m) == cells_1d(plain({"b": b}), m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(1, 24), tile=st.integers(1, 30))
+    def test_random_sizes(self, m, tile):
+        b = input_for(m)
+        tiled = repro.compile(STENCIL, params={"m": m},
+                              options=CodegenOptions(tile=tile))
+        assert tiled.report.tiling.ok
+        plain = repro.compile(STENCIL, params={"m": m})
+        assert cells_1d(tiled({"b": b}), m) == cells_1d(plain({"b": b}), m)
+
+
+class TestTiledGaussSeidel:
+    @pytest.mark.parametrize("tile", [1, 2, 4, 50])
+    def test_lex_tiles_bit_identical(self, tile):
+        m = 9
+        tiled = repro.compile(GAUSS_SEIDEL, params={"m": m},
+                              options=CodegenOptions(tile=tile))
+        assert tiled.report.tiling.ok
+        assert tiled.report.tiling.kind == "lex"
+        plain = repro.compile(GAUSS_SEIDEL, params={"m": m})
+        oracle = repro.evaluate(GAUSS_SEIDEL, {"m": m})
+        got = cells_2d(tiled({}), m)
+        assert got == cells_2d(plain({}), m)
+        assert got == cells_2d(oracle, m)
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(2, 10), tile=st.integers(1, 12))
+    def test_random_sizes(self, m, tile):
+        tiled = repro.compile(GAUSS_SEIDEL, params={"m": m},
+                              options=CodegenOptions(tile=tile))
+        assert tiled.report.tiling.ok
+        plain = repro.compile(GAUSS_SEIDEL, params={"m": m})
+        assert cells_2d(tiled({}), m) == cells_2d(plain({}), m)
+
+
+class TestTiledPrograms:
+    def params_match(self, src, params, tile):
+        tiled = repro.compile_program(
+            src, params=params, options=CodegenOptions(tile=tile)
+        )
+        plain = repro.compile_program(src, params=params)
+        got, want = tiled({}), plain({})
+        oracle = repro.run_program(src, bindings=dict(params))
+        assert got.bounds == want.bounds
+        assert got.bounds == oracle.bounds
+        for subscript in got.bounds.range():
+            assert got.at(subscript) == want.at(subscript)
+            assert got.at(subscript) == oracle.at(subscript)
+        return tiled
+
+    @pytest.mark.parametrize("tile", [1, 3, "auto"])
+    def test_stencil_chain(self, tile):
+        tiled = self.params_match(PROGRAM_STENCIL_CHAIN, {"m": 10}, tile)
+        assert any("_ts0" in src for src in tiled.sources().values())
+
+    def test_sor_rejects_with_reason_but_stays_identical(self):
+        # The SOR step's schedule (boundary clauses around the
+        # interior sweep) is not a perfect chain — the binding must
+        # fall back untiled, say why, and still match the oracle.
+        tiled = self.params_match(
+            PROGRAM_SOR, {"m": 8, "k": 5, "omega": 1.25}, 4
+        )
+        tile_falls = [f for f in tiled.report.fallbacks
+                      if f.startswith("tile ")]
+        assert tile_falls
+        assert "perfect loop chain" in tile_falls[0]
+
+
+class TestTilingRejections:
+    def test_backward_nest_rejected(self):
+        src = ("letrec* a = array (1,8) [ i := "
+               "if i == 8 then 1.0 else a!(i+1) + 1.0 "
+               "| i <- [1..8] ] in a")
+        compiled = repro.compile(src, options=CodegenOptions(tile=4))
+        assert not compiled.report.tiling.ok
+        assert "backward" in compiled.report.tiling.note
+        # ... and the untiled kernel still matches the oracle.
+        oracle = repro.evaluate(src, {})
+        out = compiled({})
+        assert cells_1d(out, 8) == cells_1d(oracle, 8)
+
+    def test_accumulate_rejected(self):
+        src = ("accumArray (\\a b -> a + b) 0 (1,5) "
+               "[ (k!i) := 1 | i <- [1..10] ]")
+        compiled = repro.compile(src, options=CodegenOptions(tile=4))
+        assert not compiled.report.tiling.ok
+        assert "re-associate" in compiled.report.tiling.note
+
+    def test_rejection_never_changes_results(self):
+        src = ("letrec* a = array (1,8) [ i := "
+               "if i == 8 then 1.0 else a!(i+1) + 1.0 "
+               "| i <- [1..8] ] in a")
+        plain = repro.compile(src)
+        tiled = repro.compile(src, options=CodegenOptions(tile=3))
+        assert cells_1d(tiled({}), 8) == cells_1d(plain({}), 8)

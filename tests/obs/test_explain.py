@@ -171,3 +171,51 @@ class TestCompileExplainKwarg:
     def test_compile_without_kwarg_has_no_explanation(self):
         compiled = repro.compile(WAVEFRONT_F, params={"n": 6})
         assert not hasattr(compiled, "explanation")
+
+
+#: Backward-running recurrence: tiles would run against the carried
+#: dependence, so the tiling pass must reject with this exact reason.
+BACKWARD = ("letrec* a = array (1,8) [ i := "
+            "if i == 8 then 1.0 else a!(i+1) + 1.0 "
+            "| i <- [1..8] ] in a")
+
+
+class TestTileArea:
+    def _options(self, tile):
+        from repro.codegen.emit import CodegenOptions
+
+        return CodegenOptions(tile=tile)
+
+    def test_accepted_stencil_names_sizes_and_kind(self):
+        src = ("array (1,16) [ i := if i == 1 || i == 16 then b!i "
+               "else (b!(i-1) + b!(i+1)) / 2.0 | i <- [1..16] ]")
+        ex = explain(src, options=self._options(4))
+        accepted = [d for d in ex.by_area("tile")
+                    if d.verdict == ACCEPTED]
+        assert len(accepted) == 1
+        assert "rect tiles [i:4]" in accepted[0].reason
+        assert "direction vectors" in accepted[0].reason
+
+    def test_golden_rejection_line(self):
+        ex = explain(BACKWARD, options=self._options(4))
+        lines = [str(d) for d in ex.by_area("tile")
+                 if d.verdict == FALLBACK]
+        assert lines == [
+            "[tile] cache blocking: fallback — untiled loops emitted: "
+            "loop i runs backward; only forward nests are tiled"
+        ]
+
+    def test_untiled_compile_has_no_tile_area(self):
+        ex = explain(BACKWARD)
+        assert not ex.by_area("tile")
+
+    def test_program_rejection_reaches_tile_area(self):
+        from repro.kernels import PROGRAM_SOR
+
+        ex = explain(PROGRAM_SOR,
+                     params={"m": 8, "k": 5, "omega": 1.25},
+                     options=self._options(4))
+        falls = [d for d in ex.by_area("tile")
+                 if d.verdict == FALLBACK]
+        assert any("main" in d.subject for d in falls)
+        assert any("perfect loop chain" in d.reason for d in falls)

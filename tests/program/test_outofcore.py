@@ -1,0 +1,150 @@
+"""Out-of-core streaming execution vs the in-memory path and oracle.
+
+``ooc=True`` streams a program's iterate/converge sweeps through
+``numpy.memmap``-backed tiles.  The contract is *bit-identity* with
+the in-memory double-buffer path — and hence with the lazy oracle —
+including the exact sweep count of a convergence loop, while the
+resident working set stays bounded by the tile, not the mesh.
+"""
+
+import os
+
+import pytest
+
+import repro
+from repro.codegen.emit import CodegenOptions
+from repro.kernels import PROGRAM_JACOBI, PROGRAM_JACOBI_STEPS, PROGRAM_SOR
+from repro.obs.trace import (
+    refresh_runtime_tracing,
+    reset_runtime_counters,
+    runtime_counters,
+)
+from repro.program.compile import compile_program
+
+JACOBI_PARAMS = {"m": 12, "tol": 1e-3}
+STEPS_PARAMS = {"m": 12, "k": 7}
+
+
+@pytest.fixture
+def traced(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    refresh_runtime_tracing()
+    reset_runtime_counters()
+    yield
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    refresh_runtime_tracing()
+
+
+def identical(got, want):
+    assert got.bounds == want.bounds
+    for subscript in got.bounds.range():
+        assert got.at(subscript) == want.at(subscript)
+
+
+class TestOocBitIdentity:
+    @pytest.mark.parametrize("tile", [1, 3, 5, 100, None])
+    def test_jacobi_converge(self, tile):
+        options = CodegenOptions(tile=tile) if tile else None
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=options, ooc=True)
+        # The convergence loop itself streamed — no fallback for it.
+        assert not [f for f in ooc.report.fallbacks
+                    if f.startswith("ooc 'main'")]
+        plain = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS)
+        identical(ooc({}), plain({}))
+
+    def test_jacobi_matches_oracle(self):
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=CodegenOptions(tile=4), ooc=True)
+        oracle = repro.run_program(PROGRAM_JACOBI,
+                                   bindings=dict(JACOBI_PARAMS))
+        identical(ooc({}), oracle)
+
+    @pytest.mark.parametrize("tile", [1, 4, 100])
+    def test_jacobi_fixed_steps(self, tile):
+        ooc = compile_program(PROGRAM_JACOBI_STEPS, params=STEPS_PARAMS,
+                              options=CodegenOptions(tile=tile), ooc=True)
+        plain = compile_program(PROGRAM_JACOBI_STEPS, params=STEPS_PARAMS)
+        identical(ooc({}), plain({}))
+
+    def test_sweep_counts_identical(self, traced):
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=CodegenOptions(tile=4), ooc=True)
+        ooc({})
+        streamed = runtime_counters().get("iterate.sweeps.double")
+        assert streamed is not None
+        reset_runtime_counters()
+        plain = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS)
+        plain({})
+        in_memory = runtime_counters().get("iterate.sweeps.double")
+        assert streamed == in_memory
+
+
+class TestResidentBound:
+    def test_resident_bytes_bounded_by_tile(self, traced):
+        # m=12 rows of 12 doubles; 2-row tiles with a 1-row halo each
+        # side keep (window + destination) well under the full mesh.
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=CodegenOptions(tile=2), ooc=True)
+        ooc({})
+        counters = runtime_counters()
+        resident = counters.get("ooc.bytes.resident")
+        mesh_bytes = 12 * 12 * 8
+        assert resident is not None
+        # window (tile + two halo rows) + destination tile, in bytes.
+        assert resident <= (4 + 2) * 12 * 8
+        assert resident < mesh_bytes
+        assert counters.get("ooc.tiles", 0) >= 6
+        assert counters.get("tile.halo.cells", 0) > 0
+
+    def test_spill_files_cleaned_up(self, tmp_path, monkeypatch):
+        spill = tmp_path / "spill"
+        monkeypatch.setenv("REPRO_OOC_DIR", str(spill))
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=CodegenOptions(tile=3), ooc=True)
+        ooc({})
+        assert os.listdir(spill) == []
+
+
+class TestOocFallbacks:
+    def test_sor_inplace_sweeps_fall_back_with_reason(self):
+        # SOR's sweep mutates one buffer; its tiles cannot stream
+        # independently, so ooc falls back — loudly and correctly.
+        ooc = compile_program(PROGRAM_SOR,
+                              params={"m": 8, "k": 5, "omega": 1.25},
+                              ooc=True)
+        reasons = [f for f in ooc.report.fallbacks
+                   if f.startswith("ooc 'main'")]
+        assert reasons
+        assert "double-buffer" in reasons[0]
+        plain = compile_program(PROGRAM_SOR,
+                                params={"m": 8, "k": 5, "omega": 1.25})
+        identical(ooc({}), plain({}))
+
+    def test_one_shot_bindings_report_nothing_to_stream(self):
+        src = "a = array (1,4) [ i := 2.0 | i <- [1..4] ]; main = a"
+        ooc = compile_program(src, ooc=True)
+        reasons = [f for f in ooc.report.fallbacks
+                   if f.startswith("ooc ")]
+        assert reasons
+        assert any("nothing to stream" in r or "executes once" in r
+                   for r in reasons)
+
+    def test_single_definition_ooc_is_a_loud_error(self):
+        with pytest.raises(repro.CompileError):
+            repro.compile("array (1,4) [ i := 2.0 | i <- [1..4] ]",
+                          ooc=True)
+
+
+class TestOocComposesWithOverrides:
+    def test_tol_override_still_streams(self):
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=CodegenOptions(tile=4), ooc=True)
+        plain = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS)
+        identical(ooc({}, tol=1e-2), plain({}, tol=1e-2))
+
+    def test_steps_override_still_streams(self):
+        ooc = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS,
+                              options=CodegenOptions(tile=4), ooc=True)
+        plain = compile_program(PROGRAM_JACOBI, params=JACOBI_PARAMS)
+        identical(ooc({}, steps=9), plain({}, steps=9))

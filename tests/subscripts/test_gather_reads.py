@@ -1,0 +1,147 @@
+"""Checked gather reads: the loud-error contract extended to reads.
+
+A subscript that is itself array data (``b!(p!i)``) is an opaque
+gather — nothing at compile time bounds it.  The emitted read goes
+through :func:`repro.codegen.support.read_gather`, which mirrors the
+oracle's ``cells[bounds.index(subscript)]`` exactly: out-of-range
+values raise :class:`BoundsError` instead of leaking a raw
+``IndexError``, and negative values raise instead of silently
+wrapping to the wrong cell through Python list indexing.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.codegen.support import FlatArray, read_gather
+from repro.runtime.bounds import Bounds
+from repro.runtime.errors import BoundsError
+
+GATHER = "array (1,4) [ i := b!(p!i) | i <- [1..4] ]"
+GATHER_N = "array (1,n) [ i := b!(p!i) | i <- [1..n] ]"
+GATHER_2D = ("array ((1,1),(2,2)) "
+             "[ (i,j) := m!(r!i, j) | i <- [1..2], j <- [1..2] ]")
+GATHER_INPLACE = "bigupd a [* i := a!i + g!(p!i) | i <- [1..4] *]"
+
+
+def arr(vals, lo=1):
+    if not vals:
+        return FlatArray(Bounds(1, 0), [])
+    return FlatArray(Bounds(lo, lo + len(vals) - 1), list(vals))
+
+
+def cells(result, lo, hi):
+    return [result[i] for i in range(lo, hi + 1)]
+
+
+class TestCheckedGather:
+    def test_gather_read_is_checked(self):
+        compiled = repro.compile(GATHER)
+        assert "_gather(" in compiled.source
+
+    def test_affine_read_stays_unchecked(self):
+        compiled = repro.compile(
+            "array (1,4) [ i := b!(i+1) | i <- [1..4] ]"
+        )
+        assert "_gather(" not in compiled.source
+
+    def test_out_of_bounds_raises_bounds_error(self):
+        compiled = repro.compile(GATHER)
+        b = arr([float(v) for v in range(10, 90, 10)])
+        with pytest.raises(BoundsError):
+            compiled({"p": arr([1, 2, 3, 9]), "b": b})
+
+    def test_negative_index_never_wraps(self):
+        # Python list indexing would silently serve cell -1; the
+        # oracle raises, so the compiled kernel must too.
+        compiled = repro.compile(GATHER)
+        b = arr([float(v) for v in range(10, 90, 10)])
+        with pytest.raises(BoundsError):
+            compiled({"p": arr([1, 2, 3, -1]), "b": b})
+
+    def test_float_index_matches_oracle_type_error(self):
+        compiled = repro.compile(GATHER)
+        b = arr([float(v) for v in range(10, 90, 10)])
+        env = {"p": arr([1, 2, 3, 2.5]), "b": b}
+        with pytest.raises(TypeError):
+            compiled(env)
+        with pytest.raises(TypeError):
+            # The oracle is lazy here: the error surfaces on read.
+            cells(repro.evaluate(GATHER, env), 1, 4)
+
+    def test_bool_index_keeps_oracle_value(self):
+        # ``True`` is an int to the oracle's Bounds.index; the checked
+        # read must accept it with the same value, not reject it.
+        compiled = repro.compile(GATHER)
+        b = arr([float(v) for v in range(10, 90, 10)])
+        env = {"p": arr([1, 2, 3, True]), "b": b}
+        out = compiled(env)
+        oracle = repro.evaluate(GATHER, env)
+        assert cells(out, 1, 4) == cells(oracle, 1, 4)
+
+    def test_valid_gather_matches_oracle(self):
+        compiled = repro.compile(GATHER)
+        env = {"p": arr([3, 1, 4, 2]),
+               "b": arr([float(v) for v in range(10, 90, 10)])}
+        out = compiled(env)
+        oracle = repro.evaluate(GATHER, env)
+        assert cells(out, 1, 4) == cells(oracle, 1, 4)
+
+    def test_2d_gather_checks_each_dimension(self):
+        # The row subscript (3) aliases to a valid linear offset under
+        # naive linearization; per-dimension checking must still raise.
+        compiled = repro.compile(GATHER_2D)
+        m = FlatArray(Bounds((1, 1), (2, 2)), [1.0, 2.0, 3.0, 4.0])
+        out = compiled({"m": m, "r": arr([2, 1])})
+        oracle = repro.evaluate(GATHER_2D, {"m": m, "r": arr([2, 1])})
+        subs = [(i, j) for i in (1, 2) for j in (1, 2)]
+        assert [out[s] for s in subs] == [oracle[s] for s in subs]
+        with pytest.raises(BoundsError):
+            compiled({"m": m, "r": arr([2, 3])})
+
+    def test_inplace_gather_is_checked(self):
+        compiled = repro.compile(GATHER_INPLACE, strategy="bigupd")
+        assert compiled.report.strategy == "inplace"
+        assert "_gather(" in compiled.source
+        g = arr([10.0, 20.0, 30.0, 40.0])
+        out = compiled({"a": arr([1.0, 2.0, 3.0, 4.0]), "g": g,
+                        "p": arr([4, 3, 2, 1])})
+        assert cells(out, 1, 4) == [41.0, 32.0, 23.0, 14.0]
+        with pytest.raises(BoundsError):
+            compiled({"a": arr([1.0, 2.0, 3.0, 4.0]), "g": g,
+                      "p": arr([4, 3, 2, 5])})
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_gathers_match_oracle(self, data):
+        n = data.draw(st.integers(1, 16), label="n")
+        p_vals = data.draw(
+            st.lists(st.integers(-2, n + 2), min_size=n, max_size=n),
+            label="p",
+        )
+        b_vals = [float(10 * (k + 1)) for k in range(n)]
+        compiled = repro.compile(GATHER_N, params={"n": n})
+        env = {"n": n, "p": arr(p_vals), "b": arr(b_vals)}
+        try:
+            expected = cells(repro.evaluate(GATHER_N, env), 1, n)
+        except BoundsError:
+            with pytest.raises(BoundsError):
+                compiled(env)
+        else:
+            assert cells(compiled(env), 1, n) == expected
+
+
+class TestReadGatherHelper:
+    def test_matches_oracle_semantics(self):
+        bounds = Bounds(1, 4)
+        cells_ = [10.0, 20.0, 30.0, 40.0]
+        assert read_gather(bounds, cells_, 3) == 30.0
+        with pytest.raises(BoundsError):
+            read_gather(bounds, cells_, 5)
+        with pytest.raises(BoundsError):
+            read_gather(bounds, cells_, 0)
+
+    def test_rank_mismatch_is_a_bounds_error(self):
+        bounds = Bounds((1, 1), (2, 2))
+        with pytest.raises(BoundsError):
+            read_gather(bounds, [1.0] * 4, 1)
